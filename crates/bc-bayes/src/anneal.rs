@@ -1,0 +1,180 @@
+//! Simulated-annealing structure search.
+//!
+//! Banjo — the tool the paper uses for structure learning — offers both
+//! greedy search and simulated annealing. [`crate::learn::hill_climb`] is
+//! the greedy mode; this module is the annealed one: random single-edge
+//! moves (add / delete / reverse) accepted by the Metropolis criterion on
+//! the BIC delta, with geometric cooling, returning the best structure
+//! visited. Annealing escapes the local optima greedy search gets stuck in
+//! on equivalence-class ridges.
+
+use crate::graph::Dag;
+use crate::learn::{family_bic_score, LearnConfig};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Annealing-schedule knobs.
+#[derive(Clone, Debug)]
+pub struct AnnealConfig {
+    /// Shared learning limits (max parents, row caps, …).
+    pub learn: LearnConfig,
+    /// Starting temperature (in BIC units).
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per move.
+    pub cooling: f64,
+    /// Number of proposed moves.
+    pub moves: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig {
+            learn: LearnConfig::default(),
+            initial_temperature: 50.0,
+            cooling: 0.995,
+            moves: 2_000,
+            seed: 0xba27,
+        }
+    }
+}
+
+/// Total BIC of a structure.
+fn total_score(rows: &[Vec<u16>], cards: &[usize], dag: &Dag) -> f64 {
+    (0..cards.len())
+        .map(|v| family_bic_score(rows, cards, v, dag.parents(v)))
+        .sum()
+}
+
+/// Runs simulated annealing and returns the best structure visited.
+pub fn anneal(rows: &[Vec<u16>], cards: &[usize], config: &AnnealConfig) -> Dag {
+    let d = cards.len();
+    let rows = &rows[..rows.len().min(config.learn.max_rows_for_scoring)];
+    let mut dag = Dag::empty(d);
+    if rows.is_empty() || d < 2 {
+        return dag;
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut current = total_score(rows, cards, &dag);
+    let mut best = dag.clone();
+    let mut best_score = current;
+    let mut temperature = config.initial_temperature.max(1e-9);
+
+    for _ in 0..config.moves {
+        // Propose a random move.
+        let p = rng.gen_range(0..d);
+        let c = rng.gen_range(0..d);
+        if p == c {
+            continue;
+        }
+        let mut trial = dag.clone();
+        let kind = rng.gen_range(0..3u8);
+        let applied = match kind {
+            0 => trial.parents(c).len() < config.learn.max_parents && trial.try_add_edge(p, c),
+            1 => trial.remove_edge(p, c),
+            _ => {
+                trial.has_edge(p, c) && {
+                    trial.remove_edge(p, c);
+                    trial.parents(p).len() < config.learn.max_parents && trial.try_add_edge(c, p)
+                }
+            }
+        };
+        if !applied {
+            continue;
+        }
+        // Only the touched families change score.
+        let old = family_bic_score(rows, cards, c, dag.parents(c))
+            + family_bic_score(rows, cards, p, dag.parents(p));
+        let new = family_bic_score(rows, cards, c, trial.parents(c))
+            + family_bic_score(rows, cards, p, trial.parents(p));
+        let delta = new - old;
+        if delta >= 0.0 || rng.gen_bool((delta / temperature).exp().clamp(0.0, 1.0)) {
+            dag = trial;
+            current += delta;
+            if current > best_score {
+                best_score = current;
+                best = dag.clone();
+            }
+        }
+        temperature = (temperature * config.cooling).max(1e-9);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn dependent_rows(n: usize, seed: u64) -> Vec<Vec<u16>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x0: u16 = rng.gen_range(0..4);
+                let x1 = if rng.gen_bool(0.9) { x0 } else { rng.gen_range(0..4) };
+                let x2: u16 = rng.gen_range(0..4);
+                vec![x0, x1, x2]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn annealing_finds_the_dependency() {
+        let rows = dependent_rows(1500, 3);
+        let dag = anneal(&rows, &[4, 4, 4], &AnnealConfig::default());
+        assert!(
+            dag.has_edge(0, 1) || dag.has_edge(1, 0),
+            "expected the correlated edge, got {:?}",
+            dag.edges()
+        );
+    }
+
+    #[test]
+    fn annealing_is_at_least_as_good_as_its_start() {
+        let rows = dependent_rows(800, 5);
+        let cards = [4usize, 4, 4];
+        let dag = anneal(&rows, &cards, &AnnealConfig::default());
+        let empty = Dag::empty(3);
+        assert!(
+            total_score(&rows, &cards, &dag) >= total_score(&rows, &cards, &empty),
+            "annealing must not end below the empty graph"
+        );
+    }
+
+    #[test]
+    fn annealing_respects_max_parents() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let rows: Vec<Vec<u16>> = (0..600)
+            .map(|_| {
+                let x: u16 = rng.gen_range(0..4);
+                vec![x, x, x, x]
+            })
+            .collect();
+        let config = AnnealConfig {
+            learn: LearnConfig {
+                max_parents: 1,
+                ..LearnConfig::default()
+            },
+            ..Default::default()
+        };
+        let dag = anneal(&rows, &[4, 4, 4, 4], &config);
+        for v in 0..4 {
+            assert!(dag.parents(v).len() <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let rows = dependent_rows(500, 7);
+        let a = anneal(&rows, &[4, 4, 4], &AnnealConfig::default());
+        let b = anneal(&rows, &[4, 4, 4], &AnnealConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_graph() {
+        let dag = anneal(&[], &[4, 4], &AnnealConfig::default());
+        assert_eq!(dag.n_edges(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Conditional probability tables.
+
+use crate::pmf::Pmf;
+use serde::{Deserialize, Serialize};
+
+/// The conditional distribution `P(node | parents)`: one [`Pmf`] per parent
+/// configuration, indexed mixed-radix with the *first* parent most
+/// significant.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Cpt {
+    node: usize,
+    parents: Vec<usize>,
+    parent_cards: Vec<usize>,
+    table: Vec<Pmf>,
+}
+
+impl Cpt {
+    /// Builds a CPT. `table` must have one pmf per parent configuration
+    /// (`Π parent_cards`, or 1 when there are no parents), all with the same
+    /// cardinality.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn new(node: usize, parents: Vec<usize>, parent_cards: Vec<usize>, table: Vec<Pmf>) -> Cpt {
+        assert_eq!(parents.len(), parent_cards.len());
+        let configs: usize = parent_cards.iter().product();
+        assert_eq!(table.len(), configs.max(1), "one pmf per parent configuration");
+        let card = table[0].card();
+        assert!(table.iter().all(|p| p.card() == card), "inconsistent pmf cardinality");
+        Cpt {
+            node,
+            parents,
+            parent_cards,
+            table,
+        }
+    }
+
+    /// The node this CPT belongs to.
+    #[inline]
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// The parent node indices (sorted, matching the DAG).
+    #[inline]
+    pub fn parents(&self) -> &[usize] {
+        &self.parents
+    }
+
+    /// Cardinality of each parent's domain.
+    #[inline]
+    pub fn parent_cards(&self) -> &[usize] {
+        &self.parent_cards
+    }
+
+    /// Cardinality of the node's own domain.
+    #[inline]
+    pub fn card(&self) -> usize {
+        self.table[0].card()
+    }
+
+    /// Number of parent configurations.
+    #[inline]
+    pub fn n_configs(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Mixed-radix index of a parent value assignment.
+    pub fn config_index(&self, parent_vals: &[u16]) -> usize {
+        assert_eq!(parent_vals.len(), self.parents.len());
+        let mut idx = 0usize;
+        for (&v, &card) in parent_vals.iter().zip(&self.parent_cards) {
+            debug_assert!((v as usize) < card);
+            idx = idx * card + v as usize;
+        }
+        idx
+    }
+
+    /// The conditional pmf for a parent value assignment (values in the same
+    /// order as [`Cpt::parents`]).
+    pub fn pmf(&self, parent_vals: &[u16]) -> &Pmf {
+        &self.table[self.config_index(parent_vals)]
+    }
+
+    /// The pmf at a raw configuration index.
+    #[inline]
+    pub fn pmf_at(&self, config: usize) -> &Pmf {
+        &self.table[config]
+    }
+
+    /// Decodes a configuration index back into parent values.
+    pub fn decode_config(&self, mut config: usize) -> Vec<u16> {
+        let mut vals = vec![0u16; self.parents.len()];
+        for i in (0..self.parents.len()).rev() {
+            let card = self.parent_cards[i];
+            vals[i] = (config % card) as u16;
+            config /= card;
+        }
+        vals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpt() -> Cpt {
+        // node 2 with parents {0 (card 2), 1 (card 3)}.
+        let table = (0..6)
+            .map(|i| Pmf::from_weights(vec![1.0 + i as f64, 1.0]))
+            .collect();
+        Cpt::new(2, vec![0, 1], vec![2, 3], table)
+    }
+
+    #[test]
+    fn config_indexing_roundtrips() {
+        let c = cpt();
+        for cfg in 0..c.n_configs() {
+            let vals = c.decode_config(cfg);
+            assert_eq!(c.config_index(&vals), cfg);
+        }
+        assert_eq!(c.config_index(&[1, 2]), 5);
+        assert_eq!(c.decode_config(5), vec![1, 2]);
+    }
+
+    #[test]
+    fn lookup_selects_the_right_pmf() {
+        let c = cpt();
+        assert_eq!(c.pmf(&[1, 2]), c.pmf_at(5));
+        assert!((c.pmf(&[0, 0]).p(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn root_cpt_has_single_config() {
+        let c = Cpt::new(0, vec![], vec![], vec![Pmf::uniform(4)]);
+        assert_eq!(c.n_configs(), 1);
+        assert_eq!(c.pmf(&[]).card(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "one pmf per parent configuration")]
+    fn shape_mismatch_panics() {
+        let _ = Cpt::new(0, vec![1], vec![3], vec![Pmf::uniform(2)]);
+    }
+}

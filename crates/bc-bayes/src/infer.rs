@@ -1,0 +1,366 @@
+//! Exact inference by variable elimination.
+
+use crate::pmf::Pmf;
+use crate::BayesianNetwork;
+
+/// A factor over a sorted set of variables (attribute node indices), with a
+/// dense value table indexed mixed-radix (first variable most significant).
+#[derive(Clone, Debug)]
+pub(crate) struct Factor {
+    vars: Vec<usize>,
+    cards: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Factor {
+    fn size(cards: &[usize]) -> usize {
+        cards.iter().product::<usize>().max(1)
+    }
+
+    /// A constant factor.
+    fn scalar(v: f64) -> Factor {
+        Factor {
+            vars: vec![],
+            cards: vec![],
+            values: vec![v],
+        }
+    }
+
+    /// Builds the factor for one CPT entry: variables = parents ∪ {node}.
+    fn from_cpt(cpt: &crate::Cpt, node_card: usize) -> Factor {
+        let mut vars: Vec<usize> = cpt.parents().to_vec();
+        vars.push(cpt.node());
+        let mut cards: Vec<usize> = cpt.parent_cards().to_vec();
+        cards.push(node_card);
+        // Sort vars (and cards alongside) to keep the canonical order.
+        let mut order: Vec<usize> = (0..vars.len()).collect();
+        order.sort_by_key(|&i| vars[i]);
+        let sorted_vars: Vec<usize> = order.iter().map(|&i| vars[i]).collect();
+        let sorted_cards: Vec<usize> = order.iter().map(|&i| cards[i]).collect();
+
+        let mut f = Factor {
+            vars: sorted_vars,
+            cards: sorted_cards,
+            values: vec![0.0; Factor::size(&cards)],
+        };
+        // Enumerate parent configs × node values and scatter into f.
+        let n_parents = cpt.parents().len();
+        let mut assignment = vec![0u16; n_parents + 1];
+        for config in 0..cpt.n_configs() {
+            let parent_vals = cpt.decode_config(config);
+            assignment[..n_parents].copy_from_slice(&parent_vals);
+            let pmf = cpt.pmf_at(config);
+            for v in 0..node_card as u16 {
+                assignment[n_parents] = v;
+                // Map the (parents..., node) assignment into f's sorted order.
+                let mut idx = 0usize;
+                for (slot, &orig) in order.iter().enumerate() {
+                    idx = idx * f.cards[slot] + assignment[orig] as usize;
+                }
+                f.values[idx] = pmf.p(v);
+            }
+        }
+        f
+    }
+
+    /// Index of `var` in this factor's variable list.
+    fn pos(&self, var: usize) -> Option<usize> {
+        self.vars.binary_search(&var).ok()
+    }
+
+    /// Fixes `var = val`, dropping the variable.
+    fn restrict(&self, var: usize, val: u16) -> Factor {
+        let Some(p) = self.pos(var) else {
+            return self.clone();
+        };
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(p);
+        let removed_card = cards.remove(p);
+        let mut out = Factor {
+            values: vec![0.0; Factor::size(&cards)],
+            vars,
+            cards,
+        };
+        // Stride arithmetic: iterate output assignments, inject val at p.
+        let n_out = out.values.len();
+        for out_idx in 0..n_out {
+            // Decode out_idx over out.cards, insert val at position p,
+            // re-encode over self.cards.
+            let mut rem = out_idx;
+            let mut digits = vec![0usize; out.vars.len()];
+            for i in (0..out.vars.len()).rev() {
+                digits[i] = rem % out.cards[i];
+                rem /= out.cards[i];
+            }
+            let mut in_idx = 0usize;
+            let mut di = 0;
+            for i in 0..self.vars.len() {
+                let d = if i == p {
+                    val as usize
+                } else {
+                    let d = digits[di];
+                    di += 1;
+                    d
+                };
+                in_idx = in_idx * self.cards[i] + d;
+            }
+            let _ = removed_card;
+            out.values[out_idx] = self.values[in_idx];
+        }
+        out
+    }
+
+    /// Pointwise product of two factors over the union of their variables.
+    fn product(&self, other: &Factor) -> Factor {
+        // Union of sorted variable lists.
+        let mut vars = Vec::with_capacity(self.vars.len() + other.vars.len());
+        let mut cards = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.vars.len() || j < other.vars.len() {
+            let take_left = j >= other.vars.len()
+                || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
+            if take_left {
+                if j < other.vars.len() && i < self.vars.len() && self.vars[i] == other.vars[j] {
+                    j += 1;
+                }
+                vars.push(self.vars[i]);
+                cards.push(self.cards[i]);
+                i += 1;
+            } else {
+                vars.push(other.vars[j]);
+                cards.push(other.cards[j]);
+                j += 1;
+            }
+        }
+        let mut out = Factor {
+            values: vec![0.0; Factor::size(&cards)],
+            vars,
+            cards,
+        };
+        let mut digits = vec![0usize; out.vars.len()];
+        for out_idx in 0..out.values.len() {
+            let mut rem = out_idx;
+            for k in (0..out.vars.len()).rev() {
+                digits[k] = rem % out.cards[k];
+                rem /= out.cards[k];
+            }
+            let idx_in = |f: &Factor| -> usize {
+                let mut idx = 0usize;
+                for (k, &v) in f.vars.iter().enumerate() {
+                    let slot = out.vars.binary_search(&v).expect("var in union");
+                    idx = idx * f.cards[k] + digits[slot];
+                }
+                idx
+            };
+            out.values[out_idx] = self.values[idx_in(self)] * other.values[idx_in(other)];
+        }
+        out
+    }
+
+    /// Sums out `var`.
+    fn sum_out(&self, var: usize) -> Factor {
+        let Some(p) = self.pos(var) else {
+            return self.clone();
+        };
+        let mut vars = self.vars.clone();
+        let mut cards = self.cards.clone();
+        vars.remove(p);
+        let var_card = cards.remove(p);
+        let mut out = Factor {
+            values: vec![0.0; Factor::size(&cards)],
+            vars,
+            cards,
+        };
+        let mut digits = vec![0usize; self.vars.len()];
+        for in_idx in 0..self.values.len() {
+            let mut rem = in_idx;
+            for k in (0..self.vars.len()).rev() {
+                digits[k] = rem % self.cards[k];
+                rem /= self.cards[k];
+            }
+            let mut out_idx = 0usize;
+            for (k, &d) in digits.iter().enumerate() {
+                if k != p {
+                    out_idx = out_idx * self.cards[k] + d;
+                }
+            }
+            let _ = var_card;
+            out.values[out_idx] += self.values[in_idx];
+        }
+        out
+    }
+}
+
+/// Exact posterior marginal `P(target | evidence)` by variable elimination.
+///
+/// Evidence entries for `target` itself are ignored. If the evidence has
+/// zero probability under the network (possible after aggressive Laplace-free
+/// fitting), the uniform distribution is returned as a safe fallback.
+pub fn posterior(bn: &BayesianNetwork, target: usize, evidence: &[(usize, u16)]) -> Pmf {
+    let n = bn.n_nodes();
+    assert!(target < n, "target node out of range");
+    let card = bn.cards()[target];
+
+    let mut factors: Vec<Factor> = bn
+        .cpts()
+        .iter()
+        .map(|cpt| Factor::from_cpt(cpt, bn.cards()[cpt.node()]))
+        .collect();
+
+    // Apply evidence.
+    let mut is_evidence = vec![None; n];
+    for &(node, val) in evidence {
+        if node != target {
+            is_evidence[node] = Some(val);
+        }
+    }
+    for f in &mut factors {
+        for (node, ev) in is_evidence.iter().enumerate() {
+            if let Some(val) = *ev {
+                if f.pos(node).is_some() {
+                    *f = f.restrict(node, val);
+                }
+            }
+        }
+    }
+
+    // Eliminate hidden variables, smallest-resulting-factor first.
+    let mut hidden: Vec<usize> = (0..n)
+        .filter(|&v| v != target && is_evidence[v].is_none())
+        .collect();
+    while !hidden.is_empty() {
+        // Greedy min-size heuristic.
+        let (best_i, _) = hidden
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let mut size = 1usize;
+                let mut seen = std::collections::BTreeSet::new();
+                for f in factors.iter().filter(|f| f.pos(v).is_some()) {
+                    for (k, &fv) in f.vars.iter().enumerate() {
+                        if fv != v && seen.insert(fv) {
+                            size = size.saturating_mul(f.cards[k]);
+                        }
+                    }
+                }
+                (i, size)
+            })
+            .min_by_key(|&(_, s)| s)
+            .expect("hidden is non-empty");
+        let v = hidden.swap_remove(best_i);
+
+        let (touching, rest): (Vec<Factor>, Vec<Factor>) =
+            factors.into_iter().partition(|f| f.pos(v).is_some());
+        factors = rest;
+        if !touching.is_empty() {
+            let mut prod = Factor::scalar(1.0);
+            for f in touching {
+                prod = prod.product(&f);
+            }
+            factors.push(prod.sum_out(v));
+        }
+    }
+
+    // Multiply what is left; the result is over {target} (or empty).
+    let mut result = Factor::scalar(1.0);
+    for f in factors {
+        result = result.product(&f);
+    }
+    let weights: Vec<f64> = if result.vars.is_empty() {
+        vec![result.values[0]; card]
+    } else {
+        debug_assert_eq!(result.vars, vec![target]);
+        result.values
+    };
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        Pmf::uniform(card)
+    } else {
+        Pmf::from_weights(weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cpt, Dag};
+
+    /// Classic two-node chain: X0 -> X1.
+    fn chain() -> BayesianNetwork {
+        let dag = Dag::from_edges(2, &[(0, 1)]);
+        let c0 = Cpt::new(0, vec![], vec![], vec![Pmf::from_weights(vec![0.6, 0.4])]);
+        let c1 = Cpt::new(
+            1,
+            vec![0],
+            vec![2],
+            vec![
+                Pmf::from_weights(vec![0.9, 0.1]),
+                Pmf::from_weights(vec![0.2, 0.8]),
+            ],
+        );
+        BayesianNetwork::new(dag, vec![c0, c1], vec![2, 2])
+    }
+
+    #[test]
+    fn prior_marginal_of_child() {
+        let bn = chain();
+        let p1 = posterior(&bn, 1, &[]);
+        // P(X1=0) = .6*.9 + .4*.2 = .62
+        assert!((p1.p(0) - 0.62).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bayes_rule_inversion() {
+        let bn = chain();
+        let p0 = posterior(&bn, 0, &[(1, 0)]);
+        // P(X0=0 | X1=0) = .54/.62
+        assert!((p0.p(0) - 0.54 / 0.62).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evidence_on_target_is_ignored() {
+        let bn = chain();
+        let p = posterior(&bn, 0, &[(0, 1)]);
+        assert!((p.p(0) - 0.6).abs() < 1e-12);
+    }
+
+    /// V-structure: X0 -> X2 <- X1 (explaining away).
+    fn v_structure() -> BayesianNetwork {
+        let dag = Dag::from_edges(3, &[(0, 2), (1, 2)]);
+        let c0 = Cpt::new(0, vec![], vec![], vec![Pmf::from_weights(vec![0.5, 0.5])]);
+        let c1 = Cpt::new(1, vec![], vec![], vec![Pmf::from_weights(vec![0.5, 0.5])]);
+        // X2 = OR-ish of parents.
+        let c2 = Cpt::new(
+            2,
+            vec![0, 1],
+            vec![2, 2],
+            vec![
+                Pmf::from_weights(vec![0.99, 0.01]),
+                Pmf::from_weights(vec![0.1, 0.9]),
+                Pmf::from_weights(vec![0.1, 0.9]),
+                Pmf::from_weights(vec![0.01, 0.99]),
+            ],
+        );
+        BayesianNetwork::new(dag, vec![c0, c1, c2], vec![2, 2, 2])
+    }
+
+    #[test]
+    fn explaining_away() {
+        let bn = v_structure();
+        // Observing the effect raises belief in each cause...
+        let p_cause = posterior(&bn, 0, &[(2, 1)]);
+        assert!(p_cause.p(1) > 0.5);
+        // ...but also observing the other cause lowers it again.
+        let p_explained = posterior(&bn, 0, &[(2, 1), (1, 1)]);
+        assert!(p_explained.p(1) < p_cause.p(1));
+    }
+
+    #[test]
+    fn marginal_independence_in_v_structure() {
+        let bn = v_structure();
+        // Without evidence on the collider, causes stay independent/uniform.
+        let p = posterior(&bn, 0, &[(1, 1)]);
+        assert!((p.p(0) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,298 @@
+//! Structure and parameter learning.
+//!
+//! The paper trains its Bayesian network with Banjo (a greedy/annealed
+//! structure searcher) and Infer.Net (parameter estimation). We implement
+//! the same roles: greedy hill-climbing over single-edge moves maximizing
+//! the BIC score, and Laplace-smoothed maximum-likelihood CPTs.
+
+use crate::cpt::Cpt;
+use crate::graph::Dag;
+use crate::pmf::Pmf;
+use crate::BayesianNetwork;
+use std::collections::HashMap;
+
+/// Knobs for structure learning.
+#[derive(Clone, Debug)]
+pub struct LearnConfig {
+    /// Maximum number of parents per node (keeps CPTs and elimination
+    /// tractable; the paper's networks are similarly sparse).
+    pub max_parents: usize,
+    /// Laplace smoothing pseudo-count added to every CPT cell.
+    pub laplace: f64,
+    /// Cap on rows used for scoring (rows beyond this are ignored during the
+    /// structure search only; parameters still use all rows).
+    pub max_rows_for_scoring: usize,
+    /// Hard cap on hill-climbing passes.
+    pub max_iterations: usize,
+}
+
+impl Default for LearnConfig {
+    fn default() -> Self {
+        LearnConfig {
+            max_parents: 2,
+            laplace: 1.0,
+            max_rows_for_scoring: 20_000,
+            max_iterations: 200,
+        }
+    }
+}
+
+/// BIC score of the family `(node | parents)` on complete rows.
+///
+/// `Σ_config Σ_v n(config, v) ln( n(config, v) / n(config) )
+///  − (ln N / 2) · (card − 1) · Π parent_cards`
+pub(crate) fn family_bic(rows: &[Vec<u16>], cards: &[usize], node: usize, parents: &[usize]) -> f64 {
+    let n = rows.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let card = cards[node];
+    let n_configs: usize = parents.iter().map(|&p| cards[p]).product::<usize>().max(1);
+    let mut counts = vec![0u32; n_configs * card];
+    for row in rows {
+        let mut cfg = 0usize;
+        for &p in parents {
+            cfg = cfg * cards[p] + row[p] as usize;
+        }
+        counts[cfg * card + row[node] as usize] += 1;
+    }
+    let mut ll = 0.0;
+    for cfg in 0..n_configs {
+        let slice = &counts[cfg * card..(cfg + 1) * card];
+        let total: u32 = slice.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        let total_f = total as f64;
+        for &c in slice {
+            if c > 0 {
+                let c = c as f64;
+                ll += c * (c / total_f).ln();
+            }
+        }
+    }
+    let penalty = 0.5 * (n as f64).ln() * ((card - 1) * n_configs) as f64;
+    ll - penalty
+}
+
+/// Greedy hill-climbing structure search: repeatedly applies the single
+/// edge addition, deletion, or reversal with the best BIC improvement until
+/// no move helps.
+pub fn hill_climb(rows: &[Vec<u16>], cards: &[usize], config: &LearnConfig) -> Dag {
+    let d = cards.len();
+    let rows = &rows[..rows.len().min(config.max_rows_for_scoring)];
+    let mut dag = Dag::empty(d);
+    if rows.is_empty() || d < 2 {
+        return dag;
+    }
+
+    let mut score_cache: HashMap<(usize, Vec<usize>), f64> = HashMap::new();
+    let mut family_score = |node: usize, parents: &[usize]| -> f64 {
+        let key = (node, parents.to_vec());
+        if let Some(&s) = score_cache.get(&key) {
+            return s;
+        }
+        let s = family_bic(rows, cards, node, parents);
+        score_cache.insert(key, s);
+        s
+    };
+
+    let mut node_score: Vec<f64> = (0..d).map(|v| family_score(v, dag.parents(v))).collect();
+
+    for _ in 0..config.max_iterations {
+        // (delta, kind, parent, child): kind 0 = add, 1 = delete, 2 = reverse.
+        let mut best: Option<(f64, u8, usize, usize)> = None;
+        let consider = |cand: (f64, u8, usize, usize), best: &mut Option<(f64, u8, usize, usize)>| {
+            if cand.0 > 1e-9 && best.is_none_or(|b| cand.0 > b.0) {
+                *best = Some(cand);
+            }
+        };
+
+        for p in 0..d {
+            for c in 0..d {
+                if p == c {
+                    continue;
+                }
+                if !dag.has_edge(p, c) {
+                    // Try add p -> c.
+                    if dag.parents(c).len() < config.max_parents && !dag.reaches(c, p) {
+                        let mut parents = dag.parents(c).to_vec();
+                        let pos = parents.binary_search(&p).unwrap_err();
+                        parents.insert(pos, p);
+                        let delta = family_score(c, &parents) - node_score[c];
+                        consider((delta, 0, p, c), &mut best);
+                    }
+                } else {
+                    // Try delete p -> c.
+                    let parents: Vec<usize> =
+                        dag.parents(c).iter().copied().filter(|&x| x != p).collect();
+                    let delta_del = family_score(c, &parents) - node_score[c];
+                    consider((delta_del, 1, p, c), &mut best);
+
+                    // Try reverse p -> c (becomes c -> p).
+                    if dag.parents(p).len() < config.max_parents {
+                        let mut trial = dag.clone();
+                        trial.remove_edge(p, c);
+                        if trial.try_add_edge(c, p) {
+                            let mut new_p_parents = dag.parents(p).to_vec();
+                            let pos = new_p_parents.binary_search(&c).unwrap_err();
+                            new_p_parents.insert(pos, c);
+                            let delta = (family_score(c, &parents) - node_score[c])
+                                + (family_score(p, &new_p_parents) - node_score[p]);
+                            consider((delta, 2, p, c), &mut best);
+                        }
+                    }
+                }
+            }
+        }
+
+        let Some((_, kind, p, c)) = best else { break };
+        match kind {
+            0 => {
+                let added = dag.try_add_edge(p, c);
+                debug_assert!(added);
+            }
+            1 => {
+                dag.remove_edge(p, c);
+            }
+            _ => {
+                dag.remove_edge(p, c);
+                let added = dag.try_add_edge(c, p);
+                debug_assert!(added);
+            }
+        }
+        node_score[c] = family_score(c, dag.parents(c));
+        node_score[p] = family_score(p, dag.parents(p));
+    }
+    dag
+}
+
+/// Fits Laplace-smoothed maximum-likelihood CPTs for a fixed structure.
+pub fn fit_parameters(
+    dag: &Dag,
+    rows: &[Vec<u16>],
+    cards: &[usize],
+    laplace: f64,
+) -> Vec<Cpt> {
+    let d = cards.len();
+    (0..d)
+        .map(|node| {
+            let parents = dag.parents(node).to_vec();
+            let parent_cards: Vec<usize> = parents.iter().map(|&p| cards[p]).collect();
+            let n_configs: usize = parent_cards.iter().product::<usize>().max(1);
+            let card = cards[node];
+            let mut counts = vec![laplace.max(1e-9); n_configs * card];
+            for row in rows {
+                let mut cfg = 0usize;
+                for &p in &parents {
+                    cfg = cfg * cards[p] + row[p] as usize;
+                }
+                counts[cfg * card + row[node] as usize] += 1.0;
+            }
+            let table = (0..n_configs)
+                .map(|cfg| Pmf::from_weights(counts[cfg * card..(cfg + 1) * card].to_vec()))
+                .collect();
+            Cpt::new(node, parents, parent_cards, table)
+        })
+        .collect()
+}
+
+/// BIC score of one family, exposed for the annealed structure search.
+pub fn family_bic_score(
+    rows: &[Vec<u16>],
+    cards: &[usize],
+    node: usize,
+    parents: &[usize],
+) -> f64 {
+    family_bic(rows, cards, node, parents)
+}
+
+/// End-to-end learning: structure (hill climbing) plus parameters (smoothed
+/// MLE). With no complete rows at all, returns the empty-graph network with
+/// uniform CPTs — the paper's "no prior knowledge" default.
+pub fn learn_network(rows: &[Vec<u16>], cards: &[usize], config: &LearnConfig) -> BayesianNetwork {
+    let dag = hill_climb(rows, cards, config);
+    let cpts = fit_parameters(&dag, rows, cards, config.laplace);
+    BayesianNetwork::new(dag, cpts, cards.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// Rows where X1 is a noisy copy of X0 and X2 is independent.
+    fn dependent_rows(n: usize, seed: u64) -> Vec<Vec<u16>> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x0: u16 = rng.gen_range(0..4);
+                let x1 = if rng.gen_bool(0.9) { x0 } else { rng.gen_range(0..4) };
+                let x2: u16 = rng.gen_range(0..4);
+                vec![x0, x1, x2]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hill_climb_finds_the_dependency() {
+        let rows = dependent_rows(2000, 1);
+        let dag = hill_climb(&rows, &[4, 4, 4], &LearnConfig::default());
+        assert!(
+            dag.has_edge(0, 1) || dag.has_edge(1, 0),
+            "expected an edge between the correlated pair, got {:?}",
+            dag.edges()
+        );
+        assert!(!dag.has_edge(0, 2) && !dag.has_edge(2, 0));
+        assert!(!dag.has_edge(1, 2) && !dag.has_edge(2, 1));
+    }
+
+    #[test]
+    fn independent_data_learns_empty_graph() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let rows: Vec<Vec<u16>> = (0..1500)
+            .map(|_| (0..3).map(|_| rng.gen_range(0..4u16)).collect())
+            .collect();
+        let dag = hill_climb(&rows, &[4, 4, 4], &LearnConfig::default());
+        assert_eq!(dag.n_edges(), 0, "got {:?}", dag.edges());
+    }
+
+    #[test]
+    fn fitted_parameters_recover_conditionals() {
+        let rows = dependent_rows(5000, 2);
+        let dag = Dag::from_edges(3, &[(0, 1)]);
+        let cpts = fit_parameters(&dag, &rows, &[4, 4, 4], 1.0);
+        // P(X1 = v | X0 = v) should be around 0.9 + 0.1/4 = 0.925.
+        let pmf = cpts[1].pmf(&[2]);
+        assert!((pmf.p(2) - 0.925).abs() < 0.05, "got {}", pmf.p(2));
+    }
+
+    #[test]
+    fn empty_rows_fall_back_to_uniform() {
+        let bn = learn_network(&[], &[3, 3], &LearnConfig::default());
+        assert_eq!(bn.dag().n_edges(), 0);
+        assert!((bn.cpts()[0].pmf(&[]).p(0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_parents_is_respected() {
+        // Make every pair strongly dependent; with max_parents = 1 no node
+        // may have two parents.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let rows: Vec<Vec<u16>> = (0..1000)
+            .map(|_| {
+                let x: u16 = rng.gen_range(0..4);
+                vec![x, x, x, x]
+            })
+            .collect();
+        let cfg = LearnConfig {
+            max_parents: 1,
+            ..LearnConfig::default()
+        };
+        let dag = hill_climb(&rows, &[4, 4, 4, 4], &cfg);
+        for v in 0..4 {
+            assert!(dag.parents(v).len() <= 1);
+        }
+    }
+}

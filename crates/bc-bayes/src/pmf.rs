@@ -1,0 +1,324 @@
+//! Discrete probability mass functions over an attribute domain `0..card`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A discrete distribution over values `0..card` (index = value).
+///
+/// Probabilities always sum to 1 (within floating-point tolerance); the
+/// constructors normalize. A value outside the support simply has
+/// probability 0.
+///
+/// ```
+/// use bc_bayes::Pmf;
+///
+/// let pmf = Pmf::from_weights(vec![1.0, 2.0, 1.0]);
+/// assert!((pmf.p(1) - 0.5).abs() < 1e-12);
+/// assert!((pmf.pr_lt(2) - 0.75).abs() < 1e-12);
+/// // Crowd answer "value > 0" truncates and renormalizes:
+/// let cut = pmf.conditioned(0b110).unwrap();
+/// assert_eq!(cut.p(0), 0.0);
+/// assert!((cut.p(1) - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Pmf {
+    probs: Vec<f64>,
+}
+
+impl Pmf {
+    /// Normalizing constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// entry, or sums to zero.
+    pub fn from_weights(weights: Vec<f64>) -> Pmf {
+        assert!(!weights.is_empty(), "a pmf needs at least one value");
+        let mut total = 0.0;
+        for &w in &weights {
+            assert!(w.is_finite() && w >= 0.0, "pmf weights must be finite and non-negative");
+            total += w;
+        }
+        assert!(total > 0.0, "pmf weights must not all be zero");
+        Pmf {
+            probs: weights.into_iter().map(|w| w / total).collect(),
+        }
+    }
+
+    /// The uniform distribution over `0..card` — the "no prior knowledge"
+    /// default the paper assumes for missing values before BN training.
+    pub fn uniform(card: usize) -> Pmf {
+        assert!(card > 0);
+        Pmf {
+            probs: vec![1.0 / card as f64; card],
+        }
+    }
+
+    /// A point mass at `value`.
+    pub fn delta(card: usize, value: u16) -> Pmf {
+        assert!((value as usize) < card);
+        let mut probs = vec![0.0; card];
+        probs[value as usize] = 1.0;
+        Pmf { probs }
+    }
+
+    /// Domain cardinality.
+    #[inline]
+    pub fn card(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// `P(X = v)`; zero outside the domain.
+    #[inline]
+    pub fn p(&self, v: u16) -> f64 {
+        self.probs.get(v as usize).copied().unwrap_or(0.0)
+    }
+
+    /// The raw probability vector.
+    #[inline]
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// `P(X < c)`. `c` may exceed the domain (then the answer is 1).
+    pub fn pr_lt(&self, c: u16) -> f64 {
+        self.probs.iter().take(c as usize).sum()
+    }
+
+    /// `P(X <= c)`.
+    pub fn pr_le(&self, c: u16) -> f64 {
+        self.probs.iter().take(c as usize + 1).sum()
+    }
+
+    /// `P(X > c)`.
+    pub fn pr_gt(&self, c: u16) -> f64 {
+        1.0 - self.pr_le(c)
+    }
+
+    /// `P(X >= c)`.
+    pub fn pr_ge(&self, c: u16) -> f64 {
+        1.0 - self.pr_lt(c)
+    }
+
+    /// Values with nonzero probability.
+    pub fn support(&self) -> impl Iterator<Item = u16> + '_ {
+        self.probs
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p > 0.0)
+            .map(|(v, _)| v as u16)
+    }
+
+    /// Number of values with nonzero probability.
+    pub fn support_size(&self) -> usize {
+        self.probs.iter().filter(|&&p| p > 0.0).count()
+    }
+
+    /// If the distribution is a point mass, its value.
+    pub fn as_point(&self) -> Option<u16> {
+        let mut found = None;
+        for (v, &p) in self.probs.iter().enumerate() {
+            if p > 0.0 {
+                if found.is_some() {
+                    return None;
+                }
+                found = Some(v as u16);
+            }
+        }
+        found
+    }
+
+    /// Expected value.
+    pub fn mean(&self) -> f64 {
+        self.probs
+            .iter()
+            .enumerate()
+            .map(|(v, &p)| v as f64 * p)
+            .sum()
+    }
+
+    /// The most likely value (smallest on ties).
+    pub fn mode(&self) -> u16 {
+        let mut best = 0usize;
+        for (v, &p) in self.probs.iter().enumerate() {
+            if p > self.probs[best] {
+                best = v;
+            }
+        }
+        best as u16
+    }
+
+    /// Kullback–Leibler divergence `D(self ‖ other)` in bits. Infinite when
+    /// `self` puts mass where `other` has none.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cardinalities differ.
+    pub fn kl_divergence(&self, other: &Pmf) -> f64 {
+        assert_eq!(self.card(), other.card(), "KL needs matching domains");
+        self.probs
+            .iter()
+            .zip(&other.probs)
+            .filter(|(&p, _)| p > 0.0)
+            .map(|(&p, &q)| {
+                if q > 0.0 {
+                    p * (p / q).log2()
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .sum()
+    }
+
+    /// Shannon entropy in bits.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .probs
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.log2())
+            .sum::<f64>()
+    }
+
+    /// Conditions on `X ∈ mask` (bit `v` of `mask` = value `v` allowed) and
+    /// renormalizes. Returns `None` if the conditioning event has zero
+    /// probability under `self`.
+    pub fn conditioned(&self, mask: u64) -> Option<Pmf> {
+        let mut weights = self.probs.clone();
+        let mut total = 0.0;
+        for (v, w) in weights.iter_mut().enumerate() {
+            if v >= 64 || mask & (1u64 << v) == 0 {
+                *w = 0.0;
+            }
+            total += *w;
+        }
+        if total <= 0.0 {
+            return None;
+        }
+        for w in &mut weights {
+            *w /= total;
+        }
+        Some(Pmf { probs: weights })
+    }
+
+    /// Samples a value.
+    pub fn sample(&self, rng: &mut impl Rng) -> u16 {
+        let mut x: f64 = rng.gen();
+        for (v, &p) in self.probs.iter().enumerate() {
+            x -= p;
+            if x < 0.0 {
+                return v as u16;
+            }
+        }
+        // Floating-point slack: fall back to the largest supported value.
+        self.probs
+            .iter()
+            .rposition(|&p| p > 0.0)
+            .expect("pmf has positive total mass") as u16
+    }
+}
+
+/// Entropy of a Bernoulli variable with success probability `p` (Eq. 3 of
+/// the paper, with `0 log 0 = 0`).
+pub fn binary_entropy(p: f64) -> f64 {
+    debug_assert!((-1e-9..=1.0 + 1e-9).contains(&p), "probability out of range: {p}");
+    let p = p.clamp(0.0, 1.0);
+    let mut h = 0.0;
+    if p > 0.0 {
+        h -= p * p.log2();
+    }
+    if p < 1.0 {
+        h -= (1.0 - p) * (1.0 - p).log2();
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_probabilities() {
+        let p = Pmf::uniform(10);
+        assert!((p.p(3) - 0.1).abs() < 1e-12);
+        assert!((p.pr_lt(2) - 0.2).abs() < 1e-12);
+        assert!((p.pr_gt(2) - 0.7).abs() < 1e-12);
+        assert!((p.pr_le(9) - 1.0).abs() < 1e-12);
+        assert!((p.pr_ge(0) - 1.0).abs() < 1e-12);
+        assert_eq!(p.p(10), 0.0);
+    }
+
+    #[test]
+    fn paper_example_3_distributions() {
+        // a4: 0.1 for values 0,1,5; 0.2 for 2,3; 0.3 for 4.
+        let a4 = Pmf::from_weights(vec![0.1, 0.1, 0.2, 0.2, 0.3, 0.1]);
+        assert!((a4.pr_lt(4) - 0.6).abs() < 1e-12);
+        assert!((a4.pr_gt(4) - 0.1).abs() < 1e-12);
+        let a3 = Pmf::uniform(8);
+        assert!((a3.pr_gt(3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert!(Pmf::delta(4, 2).entropy().abs() < 1e-12);
+        assert!((Pmf::uniform(8).entropy() - 3.0).abs() < 1e-12);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+    }
+
+    #[test]
+    fn conditioning_renormalizes() {
+        let p = Pmf::uniform(4);
+        let c = p.conditioned(0b0110).unwrap();
+        assert_eq!(c.p(0), 0.0);
+        assert!((c.p(1) - 0.5).abs() < 1e-12);
+        assert!((c.p(2) - 0.5).abs() < 1e-12);
+        assert_eq!(c.support_size(), 2);
+        assert!(p.conditioned(0).is_none());
+        // Conditioning a delta away from its point is impossible.
+        assert!(Pmf::delta(4, 0).conditioned(0b1110).is_none());
+    }
+
+    #[test]
+    fn point_mass_detection() {
+        assert_eq!(Pmf::delta(6, 3).as_point(), Some(3));
+        assert_eq!(Pmf::uniform(2).as_point(), None);
+        assert_eq!(Pmf::uniform(4).conditioned(0b1000).unwrap().as_point(), Some(3));
+    }
+
+    #[test]
+    fn sampling_respects_support() {
+        let p = Pmf::from_weights(vec![0.0, 0.5, 0.0, 0.5]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut seen = [0usize; 4];
+        for _ in 0..2000 {
+            seen[p.sample(&mut rng) as usize] += 1;
+        }
+        assert_eq!(seen[0], 0);
+        assert_eq!(seen[2], 0);
+        assert!(seen[1] > 800 && seen[3] > 800);
+    }
+
+    #[test]
+    fn mean_mode_and_kl() {
+        let p = Pmf::from_weights(vec![0.1, 0.2, 0.7]);
+        assert!((p.mean() - 1.6).abs() < 1e-12);
+        assert_eq!(p.mode(), 2);
+        assert_eq!(Pmf::uniform(4).mode(), 0, "ties pick the smallest value");
+
+        let u = Pmf::uniform(3);
+        assert!(p.kl_divergence(&p).abs() < 1e-12);
+        assert!(p.kl_divergence(&u) > 0.0);
+        // Mass outside the support of `other` → infinite divergence.
+        let d = Pmf::delta(3, 0);
+        assert_eq!(u.kl_divergence(&d), f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weights() {
+        let _ = Pmf::from_weights(vec![0.5, -0.1]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Monetary cost models.
+//!
+//! The paper's budget counts tasks because "for a group of similar tasks
+//! (with comparable difficulties), crowdsourcing each of those tasks is
+//! assumed to spend a fixed amount of money", and notes that with variable
+//! difficulties "one could accumulate the respective crowd cost of the task
+//! one by one". This module provides that accumulation: a [`CostModel`]
+//! prices each task, and the platform tracks the total spend alongside the
+//! task count.
+
+use crate::task::Task;
+use bc_ctable::Operand;
+
+/// Prices for one crowd task, in micro-dollars (or any fixed unit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostModel {
+    /// Every task costs the same (the paper's default assumption).
+    Unit {
+        /// Price of any task.
+        price: u64,
+    },
+    /// Variable difficulty: comparing two unknown values (var-var) is
+    /// harder — and so pricier — than checking one value against a given
+    /// constant.
+    ByDifficulty {
+        /// Price of a `Var ? constant` task.
+        var_const: u64,
+        /// Price of a `Var ? Var` task.
+        var_var: u64,
+    },
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::Unit { price: 1 }
+    }
+}
+
+impl CostModel {
+    /// Price of one task under this model.
+    pub fn price(&self, task: &Task) -> u64 {
+        match *self {
+            CostModel::Unit { price } => price,
+            CostModel::ByDifficulty { var_const, var_var } => match task.rhs {
+                Operand::Const(_) => var_const,
+                Operand::Var(_) => var_var,
+            },
+        }
+    }
+
+    /// Total price of a batch.
+    pub fn batch_price(&self, tasks: &[Task]) -> u64 {
+        tasks.iter().map(|t| self.price(t)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_data::VarId;
+
+    fn vc() -> Task {
+        Task {
+            var: VarId::new(0, 0),
+            rhs: Operand::Const(3),
+        }
+    }
+
+    fn vv() -> Task {
+        Task {
+            var: VarId::new(0, 0),
+            rhs: Operand::Var(VarId::new(1, 0)),
+        }
+    }
+
+    #[test]
+    fn unit_pricing() {
+        let m = CostModel::Unit { price: 5 };
+        assert_eq!(m.price(&vc()), 5);
+        assert_eq!(m.price(&vv()), 5);
+        assert_eq!(m.batch_price(&[vc(), vv()]), 10);
+    }
+
+    #[test]
+    fn difficulty_pricing() {
+        let m = CostModel::ByDifficulty {
+            var_const: 2,
+            var_var: 7,
+        };
+        assert_eq!(m.price(&vc()), 2);
+        assert_eq!(m.price(&vv()), 7);
+        assert_eq!(m.batch_price(&[vc(), vc(), vv()]), 11);
+    }
+
+    #[test]
+    fn default_is_the_papers_unit_task() {
+        assert_eq!(CostModel::default().price(&vv()), 1);
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+//! Simulated crowdsourcing platform.
+//!
+//! Stands in for Amazon Mechanical Turk in the paper's experiments. A crowd
+//! *task* is a triple-choice question — "is the (hidden) value larger than,
+//! smaller than, or equal to the other operand?" — derived from one c-table
+//! expression. Tasks are posted **in batches** (one batch per round; the
+//! number of rounds is the paper's latency measure), each task is assigned
+//! to several workers whose per-answer accuracy is configurable, and the
+//! returned answers are combined by majority voting, exactly as in
+//! Section 7's setup (3 workers per task, accuracy 1.0 by default).
+
+pub mod cost;
+pub mod oracle;
+pub mod platform;
+pub mod pool;
+pub mod task;
+pub mod unary;
+pub mod vote;
+pub mod worker;
+
+pub use cost::CostModel;
+pub use oracle::GroundTruthOracle;
+pub use platform::{CrowdStats, SimulatedPlatform};
+pub use pool::WorkerPool;
+pub use task::{Task, TaskAnswer};
+pub use unary::UnaryTask;
+pub use worker::Worker;

@@ -1,0 +1,84 @@
+//! Ground truth for simulated workers.
+
+use crate::task::Task;
+use bc_ctable::{Operand, Relation};
+use bc_data::Dataset;
+
+/// Answers tasks from the hidden complete dataset — the simulation stand-in
+/// for what a human worker knows (e.g. the actual rating a movie deserves).
+#[derive(Clone, Debug)]
+pub struct GroundTruthOracle {
+    complete: Dataset,
+}
+
+impl GroundTruthOracle {
+    /// Wraps the complete dataset the incomplete one was derived from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset has missing cells.
+    pub fn new(complete: Dataset) -> GroundTruthOracle {
+        assert!(
+            complete.is_complete(),
+            "the oracle needs the fully observed dataset"
+        );
+        GroundTruthOracle { complete }
+    }
+
+    /// The hidden complete dataset (used to compute ground-truth skylines).
+    pub fn complete(&self) -> &Dataset {
+        &self.complete
+    }
+
+    /// The true relation asked by a task.
+    pub fn truth(&self, task: &Task) -> Relation {
+        let l = self
+            .complete
+            .get(task.var.object, task.var.attr)
+            .expect("oracle dataset is complete");
+        let r = match task.rhs {
+            Operand::Const(c) => c,
+            Operand::Var(v) => self
+                .complete
+                .get(v.object, v.attr)
+                .expect("oracle dataset is complete"),
+        };
+        Relation::between(l, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_data::generators::sample::{paper_completion, paper_dataset};
+    use bc_data::VarId;
+
+    #[test]
+    fn answers_follow_the_hidden_completion() {
+        let oracle = GroundTruthOracle::new(paper_completion());
+        // Hidden Var(o5, a4) = 2, so "Var(o5,a4) ? 4" answers Lt.
+        let t = Task {
+            var: VarId::new(4, 3),
+            rhs: Operand::Const(4),
+        };
+        assert_eq!(oracle.truth(&t), Relation::Lt);
+        // Hidden Var(o5, a3) = 3: equality against 3.
+        let t = Task {
+            var: VarId::new(4, 2),
+            rhs: Operand::Const(3),
+        };
+        assert_eq!(oracle.truth(&t), Relation::Eq);
+        // Var-var: hidden Var(o5,a2) = 4 vs Var(o2,a2) = 4 → Eq.
+        let t = Task {
+            var: VarId::new(4, 1),
+            rhs: Operand::Var(VarId::new(1, 1)),
+        };
+        assert_eq!(oracle.truth(&t), Relation::Eq);
+    }
+
+    #[test]
+    #[should_panic(expected = "fully observed")]
+    fn incomplete_oracle_is_rejected() {
+        let _ = GroundTruthOracle::new(paper_dataset());
+    }
+}

@@ -1,0 +1,326 @@
+//! The simulated crowdsourcing platform: batch posting, worker assignment,
+//! voting, and cost/latency accounting.
+
+use crate::cost::CostModel;
+use crate::oracle::GroundTruthOracle;
+use crate::pool::WorkerPool;
+use crate::task::{Task, TaskAnswer};
+use crate::vote::majority_vote;
+use crate::worker::Worker;
+use bc_ctable::Relation;
+use rand::SeedableRng;
+
+/// Monetary-cost and latency accounting, as the paper measures them: cost =
+/// number of posted tasks, latency = number of posting rounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrowdStats {
+    /// Total tasks posted.
+    pub tasks_posted: usize,
+    /// Total rounds (task-selection iterations).
+    pub rounds: usize,
+    /// Individual worker answers collected.
+    pub worker_answers: usize,
+    /// Money spent under the platform's [`CostModel`] (each worker answer
+    /// of a task is paid its price).
+    pub money_spent: u64,
+}
+
+/// A simulated crowdsourcing market.
+///
+/// Each posted task is answered by `workers_per_task` independent workers of
+/// the configured accuracy and resolved by majority voting.
+#[derive(Debug)]
+pub struct SimulatedPlatform {
+    oracle: GroundTruthOracle,
+    staffing: Staffing,
+    workers_per_task: usize,
+    retry_workers: usize,
+    cost_model: CostModel,
+    rng: rand::rngs::StdRng,
+    stats: CrowdStats,
+    log: Vec<TaskAnswer>,
+}
+
+/// Who answers the tasks: one accuracy for everyone, or a heterogeneous
+/// pool with random assignment.
+#[derive(Clone, Debug)]
+enum Staffing {
+    Homogeneous(Worker),
+    Pool(WorkerPool),
+}
+
+impl SimulatedPlatform {
+    /// A platform with the paper's default setup: 3 workers per task.
+    pub fn new(oracle: GroundTruthOracle, worker_accuracy: f64, seed: u64) -> SimulatedPlatform {
+        SimulatedPlatform::with_workers(oracle, worker_accuracy, 3, seed)
+    }
+
+    /// A platform with an explicit per-task worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers_per_task` is zero or the accuracy is not a
+    /// probability.
+    pub fn with_workers(
+        oracle: GroundTruthOracle,
+        worker_accuracy: f64,
+        workers_per_task: usize,
+        seed: u64,
+    ) -> SimulatedPlatform {
+        assert!(workers_per_task > 0, "at least one worker per task");
+        SimulatedPlatform {
+            oracle,
+            staffing: Staffing::Homogeneous(Worker::new(worker_accuracy)),
+            workers_per_task,
+            retry_workers: 0,
+            cost_model: CostModel::default(),
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            stats: CrowdStats::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Replaces the cost model (chainable at construction time).
+    pub fn with_cost_model(mut self, cost_model: CostModel) -> SimulatedPlatform {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Enables CDAS-style quality control: when the initial workers do not
+    /// answer unanimously, up to `extra` additional workers are assigned to
+    /// the task before the (re-)vote. Extra answers are paid and counted.
+    pub fn with_retry(mut self, extra: usize) -> SimulatedPlatform {
+        self.retry_workers = extra;
+        self
+    }
+
+    /// A platform staffed by a heterogeneous [`WorkerPool`]; each task is
+    /// answered by `workers_per_task` randomly assigned pool members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers_per_task` is zero.
+    pub fn with_pool(
+        oracle: GroundTruthOracle,
+        pool: WorkerPool,
+        workers_per_task: usize,
+        seed: u64,
+    ) -> SimulatedPlatform {
+        assert!(workers_per_task > 0, "at least one worker per task");
+        SimulatedPlatform {
+            oracle,
+            staffing: Staffing::Pool(pool),
+            workers_per_task,
+            retry_workers: 0,
+            cost_model: CostModel::default(),
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            stats: CrowdStats::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// The hidden complete dataset behind the oracle.
+    pub fn oracle(&self) -> &GroundTruthOracle {
+        &self.oracle
+    }
+
+    /// Posts one batch (= one round/iteration) of tasks and returns the
+    /// majority-voted answers. An empty batch does not count as a round.
+    pub fn post_round(&mut self, tasks: &[Task]) -> Vec<TaskAnswer> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        self.stats.rounds += 1;
+        self.stats.tasks_posted += tasks.len();
+        let mut out = Vec::with_capacity(tasks.len());
+        for &task in tasks {
+            let truth = self.oracle.truth(&task);
+            let mut answers = self.collect_answers(truth, self.workers_per_task, &task);
+            // Quality control: escalate split votes with extra workers.
+            if self.retry_workers > 0 && !answers.iter().all(|&a| a == answers[0]) {
+                let extra = self.collect_answers(truth, self.retry_workers, &task);
+                answers.extend(extra);
+            }
+            let relation = majority_vote(&answers, &mut self.rng);
+            let ta = TaskAnswer { task, relation };
+            self.log.push(ta);
+            out.push(ta);
+        }
+        out
+    }
+
+    /// Draws `k` worker answers for one task, updating the accounting.
+    fn collect_answers(&mut self, truth: Relation, k: usize, task: &Task) -> Vec<Relation> {
+        self.stats.worker_answers += k;
+        self.stats.money_spent += self.cost_model.price(task) * k as u64;
+        match &self.staffing {
+            Staffing::Homogeneous(worker) => (0..k)
+                .map(|_| worker.answer(truth, &mut self.rng))
+                .collect(),
+            Staffing::Pool(pool) => pool.answer(truth, k, &mut self.rng),
+        }
+    }
+
+    /// Accumulated cost/latency statistics.
+    pub fn stats(&self) -> CrowdStats {
+        self.stats
+    }
+
+    /// Every task answered so far, in posting order.
+    pub fn log(&self) -> &[TaskAnswer] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_ctable::Operand;
+    use bc_data::generators::sample::paper_completion;
+    use bc_data::VarId;
+
+    fn platform(accuracy: f64) -> SimulatedPlatform {
+        SimulatedPlatform::new(GroundTruthOracle::new(paper_completion()), accuracy, 9)
+    }
+
+    fn task(o: u32, a: u16, c: u16) -> Task {
+        Task {
+            var: VarId::new(o, a),
+            rhs: Operand::Const(c),
+        }
+    }
+
+    #[test]
+    fn perfect_workers_return_the_truth() {
+        let mut p = platform(1.0);
+        let answers = p.post_round(&[task(4, 3, 4), task(4, 2, 3)]);
+        assert_eq!(answers[0].relation, Relation::Lt); // hidden 2 vs 4
+        assert_eq!(answers[1].relation, Relation::Eq); // hidden 3 vs 3
+    }
+
+    #[test]
+    fn accounting_counts_tasks_rounds_and_answers() {
+        let mut p = platform(1.0);
+        p.post_round(&[task(4, 3, 4)]);
+        p.post_round(&[task(4, 2, 3), task(1, 1, 3)]);
+        p.post_round(&[]);
+        let s = p.stats();
+        assert_eq!(s.tasks_posted, 3);
+        assert_eq!(s.rounds, 2, "empty batches are not rounds");
+        assert_eq!(s.worker_answers, 9);
+        assert_eq!(p.log().len(), 3);
+    }
+
+    #[test]
+    fn majority_voting_rescues_moderate_noise() {
+        // With accuracy 0.8 and 5 workers, the voted answer is right much
+        // more often than a single worker.
+        let mut p = SimulatedPlatform::with_workers(
+            GroundTruthOracle::new(paper_completion()),
+            0.8,
+            5,
+            13,
+        );
+        let mut correct = 0;
+        for _ in 0..400 {
+            let a = p.post_round(&[task(4, 3, 4)]);
+            if a[0].relation == Relation::Lt {
+                correct += 1;
+            }
+        }
+        let rate = correct as f64 / 400.0;
+        assert!(rate > 0.9, "voted accuracy should beat 0.8, got {rate}");
+    }
+
+    #[test]
+    fn retry_escalates_split_votes_and_improves_accuracy() {
+        // With accuracy 0.65, 3 workers often split; escalating by 4 extra
+        // workers should raise the voted accuracy measurably.
+        let run = |retry: usize, seed: u64| -> f64 {
+            let mut p = SimulatedPlatform::new(
+                GroundTruthOracle::new(paper_completion()),
+                0.65,
+                seed,
+            )
+            .with_retry(retry);
+            let trials = 600;
+            let mut correct = 0;
+            for _ in 0..trials {
+                let a = p.post_round(&[task(4, 3, 4)]);
+                if a[0].relation == Relation::Lt {
+                    correct += 1;
+                }
+            }
+            correct as f64 / trials as f64
+        };
+        let plain = run(0, 21);
+        let escalated = run(4, 21);
+        assert!(
+            escalated > plain + 0.02,
+            "retry should help: {escalated} vs {plain}"
+        );
+    }
+
+    #[test]
+    fn retry_never_fires_on_unanimous_votes() {
+        let mut p = SimulatedPlatform::new(
+            GroundTruthOracle::new(paper_completion()),
+            1.0,
+            3,
+        )
+        .with_retry(10);
+        p.post_round(&[task(4, 3, 4), task(1, 1, 3)]);
+        // Perfect workers are always unanimous: exactly 3 answers per task.
+        assert_eq!(p.stats().worker_answers, 6);
+    }
+
+    #[test]
+    fn money_accounting_follows_the_cost_model() {
+        let mut p = SimulatedPlatform::new(
+            GroundTruthOracle::new(paper_completion()),
+            1.0,
+            9,
+        )
+        .with_cost_model(crate::cost::CostModel::ByDifficulty {
+            var_const: 2,
+            var_var: 7,
+        });
+        let vv = Task {
+            var: VarId::new(4, 1),
+            rhs: Operand::Var(VarId::new(1, 1)),
+        };
+        p.post_round(&[task(4, 3, 4), vv]);
+        // 3 workers × (2 + 7).
+        assert_eq!(p.stats().money_spent, 27);
+    }
+
+    #[test]
+    fn pool_staffing_answers_tasks() {
+        let pool = WorkerPool::new(&[1.0, 1.0, 1.0]);
+        let mut p = SimulatedPlatform::with_pool(
+            GroundTruthOracle::new(paper_completion()),
+            pool,
+            3,
+            4,
+        );
+        let answers = p.post_round(&[task(4, 3, 4)]);
+        assert_eq!(answers[0].relation, Relation::Lt);
+        assert_eq!(p.stats().worker_answers, 3);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut p = SimulatedPlatform::new(
+                GroundTruthOracle::new(paper_completion()),
+                0.5,
+                seed,
+            );
+            (0..20)
+                .map(|_| p.post_round(&[task(4, 1, 5)])[0].relation)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+}

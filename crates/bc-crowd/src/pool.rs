@@ -1,0 +1,147 @@
+//! Heterogeneous worker pools and accuracy-based recruitment.
+//!
+//! Section 7 notes that "in practice, we could select the workers whose
+//! accuracies being above one certain value to answer tasks, for controlling
+//! the final query answer accuracy (this kind of worker recruitment is
+//! supported by AMT)". This module models a pool of workers with differing
+//! accuracies and a recruitment threshold.
+
+use crate::worker::Worker;
+use bc_ctable::Relation;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A pool of simulated workers with heterogeneous accuracies.
+#[derive(Clone, Debug)]
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// A pool from explicit accuracies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty or any accuracy is not a probability.
+    pub fn new(accuracies: &[f64]) -> WorkerPool {
+        assert!(!accuracies.is_empty(), "a pool needs at least one worker");
+        WorkerPool {
+            workers: accuracies.iter().map(|&a| Worker::new(a)).collect(),
+        }
+    }
+
+    /// A pool of `n` workers with accuracies spread uniformly in
+    /// `[low, high]` (deterministic per seed).
+    pub fn uniform_spread(n: usize, low: f64, high: f64, seed: u64) -> WorkerPool {
+        assert!(n > 0);
+        assert!(low <= high);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let accuracies: Vec<f64> = (0..n)
+            .map(|_| rng.gen_range(low..=high))
+            .collect();
+        WorkerPool::new(&accuracies)
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the pool is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The workers' accuracies.
+    pub fn accuracies(&self) -> Vec<f64> {
+        self.workers.iter().map(|w| w.accuracy()).collect()
+    }
+
+    /// AMT-style recruitment: keeps only workers at or above the threshold.
+    /// Returns `None` when nobody qualifies.
+    pub fn recruit(&self, min_accuracy: f64) -> Option<WorkerPool> {
+        let qualified: Vec<Worker> = self
+            .workers
+            .iter()
+            .copied()
+            .filter(|w| w.accuracy() >= min_accuracy)
+            .collect();
+        if qualified.is_empty() {
+            None
+        } else {
+            Some(WorkerPool { workers: qualified })
+        }
+    }
+
+    /// Draws `k` answers for one task from randomly assigned workers
+    /// (with replacement, as on real platforms a worker may take several of
+    /// a requester's tasks).
+    pub fn answer(&self, truth: Relation, k: usize, rng: &mut impl Rng) -> Vec<Relation> {
+        (0..k)
+            .map(|_| {
+                let w = self.workers[rng.gen_range(0..self.workers.len())];
+                w.answer(truth, rng)
+            })
+            .collect()
+    }
+
+    /// Mean accuracy of the pool.
+    pub fn mean_accuracy(&self) -> f64 {
+        self.workers.iter().map(|w| w.accuracy()).sum::<f64>() / self.workers.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vote::majority_vote;
+
+    #[test]
+    fn recruitment_filters_by_threshold() {
+        let pool = WorkerPool::new(&[0.6, 0.95, 0.8, 0.99]);
+        let elite = pool.recruit(0.9).unwrap();
+        assert_eq!(elite.len(), 2);
+        assert!(elite.accuracies().iter().all(|&a| a >= 0.9));
+        assert!(pool.recruit(1.1).is_none());
+        assert_eq!(pool.recruit(0.0).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn uniform_spread_respects_bounds() {
+        let pool = WorkerPool::uniform_spread(50, 0.7, 0.9, 5);
+        assert_eq!(pool.len(), 50);
+        assert!(pool.accuracies().iter().all(|&a| (0.7..=0.9).contains(&a)));
+        assert!((pool.mean_accuracy() - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn recruited_pool_votes_better() {
+        // Majority voting over a recruited (high-accuracy) pool beats the
+        // raw mixed pool — the paper's practical recommendation.
+        let pool = WorkerPool::new(&[0.4, 0.45, 0.5, 0.95, 0.97]);
+        let elite = pool.recruit(0.9).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let trials = 2000;
+        let score = |p: &WorkerPool, rng: &mut rand::rngs::StdRng| {
+            (0..trials)
+                .filter(|_| {
+                    let answers = p.answer(Relation::Gt, 3, rng);
+                    majority_vote(&answers, rng) == Relation::Gt
+                })
+                .count() as f64
+                / trials as f64
+        };
+        let raw = score(&pool, &mut rng);
+        let recruited = score(&elite, &mut rng);
+        assert!(
+            recruited > raw + 0.15,
+            "recruited {recruited} vs raw {raw}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn empty_pool_is_rejected() {
+        let _ = WorkerPool::new(&[]);
+    }
+}

@@ -1,0 +1,131 @@
+//! Crowd tasks: triple-choice comparisons of a missing value against a
+//! constant or another missing value.
+
+use bc_ctable::{Expr, Operand, Relation};
+use bc_data::VarId;
+use std::fmt;
+
+/// One crowd task: "is `var` larger than, smaller than, or equal to `rhs`?"
+///
+/// Note that a task carries strictly *more* information than the expression
+/// it was derived from: the answer pins the relation, not just the
+/// expression's truth value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Task {
+    /// The missing value being asked about.
+    pub var: VarId,
+    /// What it is compared against.
+    pub rhs: Operand,
+}
+
+impl Task {
+    /// The task corresponding to a c-table expression.
+    pub fn from_expr(e: &Expr) -> Task {
+        Task {
+            var: e.var(),
+            rhs: e.rhs(),
+        }
+    }
+
+    /// The variables a task touches (one or two). Used to keep tasks within
+    /// one round conflict-free (no shared variable).
+    pub fn vars(&self) -> impl Iterator<Item = VarId> {
+        let second = match self.rhs {
+            Operand::Var(v) => Some(v),
+            Operand::Const(_) => None,
+        };
+        std::iter::once(self.var).chain(second)
+    }
+
+    /// Whether two tasks share a variable (the paper's conflict criterion
+    /// for one iteration).
+    pub fn conflicts_with(&self, other: &Task) -> bool {
+        self.vars().any(|v| other.vars().any(|w| v == w))
+    }
+
+    /// The human-readable question, as it would be posted.
+    pub fn question(&self) -> String {
+        match self.rhs {
+            Operand::Const(c) => format!(
+                "Is the variable {} larger than, or smaller than, or equal to {c}?",
+                self.var
+            ),
+            Operand::Var(v) => format!(
+                "Is the variable {} larger than, or smaller than, or equal to the variable {v}?",
+                self.var
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.rhs {
+            Operand::Const(c) => write!(f, "{} ? {c}", self.var),
+            Operand::Var(v) => write!(f, "{} ? {v}", self.var),
+        }
+    }
+}
+
+/// A task together with its (majority-voted) crowd answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskAnswer {
+    /// The task that was posted.
+    pub task: Task,
+    /// The voted relation of `task.var` to `task.rhs`.
+    pub relation: Relation,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(o: u32, a: u16) -> VarId {
+        VarId::new(o, a)
+    }
+
+    #[test]
+    fn from_expr_extracts_operands() {
+        let e = Expr::lt(v(5, 2), 2);
+        let t = Task::from_expr(&e);
+        assert_eq!(t.var, v(5, 2));
+        assert_eq!(t.rhs, Operand::Const(2));
+        assert_eq!(t.vars().count(), 1);
+    }
+
+    #[test]
+    fn conflict_detection() {
+        let a = Task {
+            var: v(5, 2),
+            rhs: Operand::Const(2),
+        };
+        let b = Task {
+            var: v(5, 2),
+            rhs: Operand::Const(7),
+        };
+        let c = Task {
+            var: v(1, 1),
+            rhs: Operand::Var(v(5, 2)),
+        };
+        let d = Task {
+            var: v(3, 3),
+            rhs: Operand::Const(0),
+        };
+        assert!(a.conflicts_with(&b));
+        assert!(a.conflicts_with(&c), "var-var task shares Var(o5,a2)");
+        assert!(!a.conflicts_with(&d));
+        assert!(a.conflicts_with(&a));
+    }
+
+    #[test]
+    fn question_text_matches_paper_phrasing() {
+        let t = Task {
+            var: v(5, 2),
+            rhs: Operand::Const(2),
+        };
+        assert_eq!(
+            t.question(),
+            "Is the variable Var(o5, a2) larger than, or smaller than, or equal to 2?"
+        );
+    }
+}

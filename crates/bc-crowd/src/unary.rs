@@ -1,0 +1,149 @@
+//! Unary value-elicitation tasks.
+//!
+//! The other crowd-skyline line of work the paper discusses (Lofi, El
+//! Maarry & Balke — its reference \[22\]) asks the crowd *unary* questions:
+//! "what is the value of `Var(o, a)`?" instead of comparisons. The paper
+//! criticizes the approach because the returned estimates are inaccurate.
+//! This module models such questions so the critique can be measured: a
+//! worker returns the exact hidden value with probability `accuracy` and an
+//! *adjacent* value otherwise (human estimates of ordinal scales miss by a
+//! little, not uniformly), and a batch of answers is combined by the
+//! median — the right aggregator for ordinal estimates.
+
+use crate::oracle::GroundTruthOracle;
+use bc_data::{Value, VarId};
+use rand::Rng;
+
+/// A unary question about one missing cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct UnaryTask {
+    /// The missing value being asked for.
+    pub var: VarId,
+}
+
+impl UnaryTask {
+    /// The human-readable question.
+    pub fn question(&self) -> String {
+        format!("What is the value of {}?", self.var)
+    }
+}
+
+/// One worker's estimate of a hidden value: exact with probability
+/// `accuracy`, otherwise one step off (clamped to the domain).
+pub fn estimate_value(
+    truth: Value,
+    max_value: Value,
+    accuracy: f64,
+    rng: &mut impl Rng,
+) -> Value {
+    if rng.gen_bool(accuracy.clamp(0.0, 1.0)) {
+        truth
+    } else if truth == 0 {
+        1.min(max_value)
+    } else if truth == max_value {
+        max_value.saturating_sub(1)
+    } else if rng.gen_bool(0.5) {
+        truth - 1
+    } else {
+        truth + 1
+    }
+}
+
+/// Median of worker estimates (lower median for even counts).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn median_vote(estimates: &[Value]) -> Value {
+    assert!(!estimates.is_empty(), "median needs at least one estimate");
+    let mut sorted = estimates.to_vec();
+    sorted.sort_unstable();
+    sorted[(sorted.len() - 1) / 2]
+}
+
+/// Answers a batch of unary tasks: `workers_per_task` estimates per task,
+/// median-aggregated. Returns `(task, voted value)` pairs.
+pub fn answer_unary_batch(
+    oracle: &GroundTruthOracle,
+    tasks: &[UnaryTask],
+    accuracy: f64,
+    workers_per_task: usize,
+    rng: &mut impl Rng,
+) -> Vec<(UnaryTask, Value)> {
+    assert!(workers_per_task > 0);
+    tasks
+        .iter()
+        .map(|&t| {
+            let truth = oracle
+                .complete()
+                .get(t.var.object, t.var.attr)
+                .expect("oracle data is complete");
+            let max = oracle.complete().domain(t.var.attr).max_value();
+            let estimates: Vec<Value> = (0..workers_per_task)
+                .map(|_| estimate_value(truth, max, accuracy, rng))
+                .collect();
+            (t, median_vote(&estimates))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_data::generators::sample::paper_completion;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_workers_return_exact_values() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for truth in 0..6u16 {
+            assert_eq!(estimate_value(truth, 5, 1.0, &mut rng), truth);
+        }
+    }
+
+    #[test]
+    fn errors_are_adjacent_and_in_domain() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..2000 {
+            let e = estimate_value(3, 5, 0.0, &mut rng);
+            assert!(e == 2 || e == 4);
+            let edge = estimate_value(0, 5, 0.0, &mut rng);
+            assert_eq!(edge, 1);
+            let top = estimate_value(5, 5, 0.0, &mut rng);
+            assert_eq!(top, 4);
+        }
+    }
+
+    #[test]
+    fn median_is_robust_to_a_minority_of_errors() {
+        assert_eq!(median_vote(&[3, 3, 4]), 3);
+        assert_eq!(median_vote(&[2, 3, 3]), 3);
+        assert_eq!(median_vote(&[5]), 5);
+        assert_eq!(median_vote(&[1, 2, 3, 4]), 2, "lower median");
+    }
+
+    #[test]
+    fn batch_answers_follow_the_oracle() {
+        let oracle = GroundTruthOracle::new(paper_completion());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let tasks = [
+            UnaryTask { var: VarId::new(4, 3) }, // hidden 2
+            UnaryTask { var: VarId::new(1, 1) }, // hidden 4
+        ];
+        let answers = answer_unary_batch(&oracle, &tasks, 1.0, 3, &mut rng);
+        assert_eq!(answers[0].1, 2);
+        assert_eq!(answers[1].1, 4);
+    }
+
+    #[test]
+    fn question_text() {
+        let t = UnaryTask { var: VarId::new(5, 2) };
+        assert_eq!(t.question(), "What is the value of Var(o5, a2)?");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one estimate")]
+    fn empty_median_panics() {
+        let _ = median_vote(&[]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Majority voting over worker answers.
+
+use bc_ctable::Relation;
+use rand::Rng;
+
+/// Combines worker answers by majority vote; ties (possible when all
+/// assigned workers disagree) are broken uniformly at random among the tied
+/// relations.
+///
+/// # Panics
+///
+/// Panics on an empty answer slice.
+pub fn majority_vote(answers: &[Relation], rng: &mut impl Rng) -> Relation {
+    assert!(!answers.is_empty(), "majority vote needs at least one answer");
+    let mut counts = [0usize; 3];
+    for &a in answers {
+        counts[a as usize] += 1;
+    }
+    let best = *counts.iter().max().expect("three counters");
+    let tied: Vec<Relation> = [Relation::Lt, Relation::Eq, Relation::Gt]
+        .into_iter()
+        .filter(|&r| counts[r as usize] == best)
+        .collect();
+    tied[rng.gen_range(0..tied.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clear_majority_wins() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let voted = majority_vote(
+            &[Relation::Gt, Relation::Gt, Relation::Lt],
+            &mut rng,
+        );
+        assert_eq!(voted, Relation::Gt);
+    }
+
+    #[test]
+    fn unanimous() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(
+            majority_vote(&[Relation::Eq, Relation::Eq, Relation::Eq], &mut rng),
+            Relation::Eq
+        );
+    }
+
+    #[test]
+    fn three_way_tie_picks_one_of_the_tied() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(majority_vote(
+                &[Relation::Lt, Relation::Eq, Relation::Gt],
+                &mut rng,
+            ));
+        }
+        assert_eq!(seen.len(), 3, "all tied answers should be reachable");
+    }
+
+    #[test]
+    fn single_answer_passes_through() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(majority_vote(&[Relation::Lt], &mut rng), Relation::Lt);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one answer")]
+    fn empty_is_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let _ = majority_vote(&[], &mut rng);
+    }
+}

@@ -1,0 +1,93 @@
+//! Simulated crowd workers.
+
+use bc_ctable::Relation;
+use rand::Rng;
+
+/// A worker with a fixed per-answer accuracy: with probability `accuracy`
+/// the true relation is returned, otherwise one of the two wrong relations
+/// uniformly (the paper's worker model, Section 7's "worker accuracy").
+#[derive(Clone, Copy, Debug)]
+pub struct Worker {
+    accuracy: f64,
+}
+
+impl Worker {
+    /// A worker answering correctly with probability `accuracy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accuracy` is outside `[0, 1]`.
+    pub fn new(accuracy: f64) -> Worker {
+        assert!(
+            (0.0..=1.0).contains(&accuracy),
+            "accuracy must be a probability, got {accuracy}"
+        );
+        Worker { accuracy }
+    }
+
+    /// The worker's accuracy.
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+
+    /// Produces this worker's answer given the true relation.
+    pub fn answer(&self, truth: Relation, rng: &mut impl Rng) -> Relation {
+        if rng.gen_bool(self.accuracy) {
+            truth
+        } else {
+            let wrong = [Relation::Lt, Relation::Eq, Relation::Gt];
+            let options: Vec<Relation> =
+                wrong.into_iter().filter(|&r| r != truth).collect();
+            options[rng.gen_range(0..options.len())]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_worker_never_errs() {
+        let w = Worker::new(1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(w.answer(Relation::Gt, &mut rng), Relation::Gt);
+        }
+    }
+
+    #[test]
+    fn accuracy_is_calibrated() {
+        let w = Worker::new(0.8);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let correct = (0..20_000)
+            .filter(|_| w.answer(Relation::Lt, &mut rng) == Relation::Lt)
+            .count();
+        let rate = correct as f64 / 20_000.0;
+        assert!((rate - 0.8).abs() < 0.02, "got {rate}");
+    }
+
+    #[test]
+    fn errors_split_between_the_two_wrong_answers() {
+        let w = Worker::new(0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut eq = 0;
+        let mut gt = 0;
+        for _ in 0..10_000 {
+            match w.answer(Relation::Lt, &mut rng) {
+                Relation::Eq => eq += 1,
+                Relation::Gt => gt += 1,
+                Relation::Lt => panic!("accuracy-0 worker answered correctly"),
+            }
+        }
+        assert!((eq as f64 / 10_000.0 - 0.5).abs() < 0.03);
+        assert!((gt as f64 / 10_000.0 - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_accuracy() {
+        let _ = Worker::new(1.5);
+    }
+}

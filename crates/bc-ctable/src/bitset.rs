@@ -1,0 +1,179 @@
+//! A fixed-capacity bitset used for the fast dominator-set derivation.
+
+/// A fixed-size set of object indices backed by `u64` blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// The empty set over a universe of `len` elements.
+    pub fn empty(len: usize) -> BitSet {
+        BitSet {
+            blocks: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full set over a universe of `len` elements.
+    pub fn full(len: usize) -> BitSet {
+        let mut s = BitSet {
+            blocks: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        s.trim();
+        s
+    }
+
+    fn trim(&mut self) {
+        let spare = self.blocks.len() * 64 - self.len;
+        if spare > 0 {
+            if let Some(last) = self.blocks.last_mut() {
+                *last &= u64::MAX >> spare;
+            }
+        }
+    }
+
+    /// Universe size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Inserts `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len);
+        self.blocks[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len);
+        self.blocks[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether `i` is in the set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.blocks[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// `self &= other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// `self &= (a | b)` without materializing the union.
+    pub fn intersect_with_union(&mut self, a: &BitSet, b: &BitSet) {
+        debug_assert_eq!(self.len, a.len);
+        debug_assert_eq!(self.len, b.len);
+        for ((x, y), z) in self.blocks.iter_mut().zip(&a.blocks).zip(&b.blocks) {
+            *x &= y | z;
+        }
+    }
+
+    /// `self |= other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a |= b;
+        }
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Iterates set bits ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut b = block;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let tz = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    Some(bi * 64 + tz)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::empty(130);
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn full_is_trimmed() {
+        let s = BitSet::full(70);
+        assert_eq!(s.count(), 70);
+        assert!(s.contains(69));
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::empty(10);
+        a.insert(1);
+        a.insert(2);
+        a.insert(3);
+        let mut b = BitSet::empty(10);
+        b.insert(2);
+        b.insert(4);
+        let mut c = BitSet::empty(10);
+        c.insert(3);
+
+        let mut x = a.clone();
+        x.intersect_with(&b);
+        assert_eq!(x.iter().collect::<Vec<_>>(), vec![2]);
+
+        let mut y = a.clone();
+        y.intersect_with_union(&b, &c);
+        assert_eq!(y.iter().collect::<Vec<_>>(), vec![2, 3]);
+
+        let mut z = a;
+        z.union_with(&b);
+        assert_eq!(z.count(), 4);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let s = BitSet::empty(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        let f = BitSet::full(64);
+        assert_eq!(f.count(), 64);
+    }
+}

@@ -1,0 +1,453 @@
+//! Propositional conditions in conjunctive normal form.
+//!
+//! The condition `φ(o)` of an object is a conjunction of clauses, one per
+//! potential dominator `p ∈ D(o)`, each clause being the disjunction
+//! `o[1] > p[1] ∨ … ∨ o[d] > p[d]` restricted to the expressions that
+//! actually involve a missing value.
+
+use crate::expr::{Expr, ExprOrBool};
+use bc_data::{Value, VarId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A disjunction of expressions. Invariant: non-empty, deduplicated, sorted.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Clause {
+    exprs: Vec<Expr>,
+}
+
+/// Outcome of normalizing a clause.
+enum ClauseOrBool {
+    Bool(bool),
+    Clause(Clause),
+}
+
+impl Clause {
+    /// Builds a clause, deduplicating and detecting tautologies
+    /// (`e ∨ ¬e` is `true`, an empty disjunction is `false`).
+    fn normalize(mut exprs: Vec<Expr>) -> ClauseOrBool {
+        exprs.sort_unstable();
+        exprs.dedup();
+        if exprs.is_empty() {
+            return ClauseOrBool::Bool(false);
+        }
+        for e in &exprs {
+            if exprs.binary_search(&e.negated()).is_ok() {
+                return ClauseOrBool::Bool(true);
+            }
+        }
+        ClauseOrBool::Clause(Clause { exprs })
+    }
+
+    /// The expressions of the clause (sorted).
+    #[inline]
+    pub fn exprs(&self) -> &[Expr] {
+        &self.exprs
+    }
+
+    /// Number of expressions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Clauses are never empty, but the standard pair is provided.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty()
+    }
+
+    /// Evaluates the clause under a complete assignment.
+    pub fn eval(&self, lookup: impl Fn(VarId) -> Value + Copy) -> bool {
+        self.exprs.iter().any(|e| e.eval(lookup))
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, e) in self.exprs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A condition in CNF: `true`, `false`, or a conjunction of clauses.
+///
+/// Invariants of the `Cnf` variant: at least one clause, every clause
+/// non-empty, no duplicate clauses.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Condition {
+    /// The object is certainly an answer.
+    True,
+    /// The object is certainly not an answer.
+    False,
+    /// Undecided: the conjunction of the clauses must hold.
+    Cnf(Vec<Clause>),
+}
+
+impl Condition {
+    /// Builds a condition from raw clauses (each a disjunction of
+    /// expressions), normalizing:
+    ///
+    /// * an empty clause makes the whole condition `false`,
+    /// * tautological clauses are dropped,
+    /// * duplicate clauses are merged,
+    /// * subsumed clauses are dropped (if clause `A ⊆ B`, then `A ⟹ B`
+    ///   and the weaker `B` is redundant in the conjunction),
+    /// * no clauses left means `true`.
+    pub fn from_clauses(raw: impl IntoIterator<Item = Vec<Expr>>) -> Condition {
+        let mut clauses = Vec::new();
+        for exprs in raw {
+            match Clause::normalize(exprs) {
+                ClauseOrBool::Bool(false) => return Condition::False,
+                ClauseOrBool::Bool(true) => {}
+                ClauseOrBool::Clause(c) => clauses.push(c),
+            }
+        }
+        clauses.sort_unstable();
+        clauses.dedup();
+        drop_subsumed(&mut clauses);
+        if clauses.is_empty() {
+            Condition::True
+        } else {
+            Condition::Cnf(clauses)
+        }
+    }
+
+    /// The clauses, if undecided.
+    pub fn clauses(&self) -> &[Clause] {
+        match self {
+            Condition::Cnf(c) => c,
+            _ => &[],
+        }
+    }
+
+    /// Whether the condition is `true` or `false`.
+    #[inline]
+    pub fn is_decided(&self) -> bool {
+        !matches!(self, Condition::Cnf(_))
+    }
+
+    /// Total number of expressions across clauses.
+    pub fn n_exprs(&self) -> usize {
+        self.clauses().iter().map(Clause::len).sum()
+    }
+
+    /// The distinct variables mentioned.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        self.clauses()
+            .iter()
+            .flat_map(|c| c.exprs().iter().flat_map(Expr::vars))
+            .collect()
+    }
+
+    /// Iterates every expression (with clause repetition preserved).
+    pub fn exprs(&self) -> impl Iterator<Item = &Expr> {
+        self.clauses().iter().flat_map(|c| c.exprs().iter())
+    }
+
+    /// The variable occurring in the most expressions (the ADPLL branching
+    /// heuristic); ties break toward the smallest variable for determinism.
+    pub fn most_frequent_var(&self) -> Option<VarId> {
+        let mut counts: std::collections::BTreeMap<VarId, usize> = Default::default();
+        for e in self.exprs() {
+            for v in e.vars() {
+                *counts.entry(v).or_default() += 1;
+            }
+        }
+        counts
+            .into_iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(v, _)| v)
+    }
+
+    /// Substitutes `v = value` everywhere and re-normalizes.
+    pub fn substitute(&self, v: VarId, value: Value) -> Condition {
+        match self {
+            Condition::True => Condition::True,
+            Condition::False => Condition::False,
+            Condition::Cnf(clauses) => {
+                let mut raw = Vec::with_capacity(clauses.len());
+                for clause in clauses {
+                    let mut exprs = Vec::with_capacity(clause.len());
+                    let mut clause_true = false;
+                    for e in clause.exprs() {
+                        match e.substitute(v, value) {
+                            ExprOrBool::Bool(true) => {
+                                clause_true = true;
+                                break;
+                            }
+                            ExprOrBool::Bool(false) => {}
+                            ExprOrBool::Expr(e2) => exprs.push(e2),
+                        }
+                    }
+                    if !clause_true {
+                        raw.push(exprs);
+                    }
+                }
+                Condition::from_clauses(raw)
+            }
+        }
+    }
+
+    /// Simplifies by deciding expressions: `decide(e)` may settle an
+    /// expression's truth (e.g. from crowd answers or candidate-value
+    /// masks); undecided expressions are kept as-is.
+    pub fn simplify(&self, decide: impl Fn(&Expr) -> Option<bool>) -> Condition {
+        match self {
+            Condition::True => Condition::True,
+            Condition::False => Condition::False,
+            Condition::Cnf(clauses) => {
+                let mut raw = Vec::with_capacity(clauses.len());
+                for clause in clauses {
+                    let mut exprs = Vec::with_capacity(clause.len());
+                    let mut clause_true = false;
+                    for e in clause.exprs() {
+                        match decide(e) {
+                            Some(true) => {
+                                clause_true = true;
+                                break;
+                            }
+                            Some(false) => {}
+                            None => exprs.push(*e),
+                        }
+                    }
+                    if !clause_true {
+                        raw.push(exprs);
+                    }
+                }
+                Condition::from_clauses(raw)
+            }
+        }
+    }
+
+    /// Conjoins a unit clause `{e}` — used to compute `Pr(φ ∧ e)` for the
+    /// marginal-utility function.
+    pub fn and_expr(&self, e: Expr) -> Condition {
+        match self {
+            Condition::True => Condition::Cnf(vec![Clause { exprs: vec![e] }]),
+            Condition::False => Condition::False,
+            Condition::Cnf(clauses) => {
+                let mut raw: Vec<Vec<Expr>> =
+                    clauses.iter().map(|c| c.exprs().to_vec()).collect();
+                raw.push(vec![e]);
+                Condition::from_clauses(raw)
+            }
+        }
+    }
+
+    /// Evaluates under a complete assignment.
+    pub fn eval(&self, lookup: impl Fn(VarId) -> Value + Copy) -> bool {
+        match self {
+            Condition::True => true,
+            Condition::False => false,
+            Condition::Cnf(clauses) => clauses.iter().all(|c| c.eval(lookup)),
+        }
+    }
+}
+
+/// Removes every clause that is a superset of another clause (the subset
+/// implies the superset, making it redundant in a conjunction). Clauses are
+/// sorted, so subset tests use sorted-merge containment.
+fn drop_subsumed(clauses: &mut Vec<Clause>) {
+    if clauses.len() < 2 {
+        return;
+    }
+    let snapshot = clauses.clone();
+    clauses.retain(|big| {
+        !snapshot.iter().any(|small| {
+            small.len() < big.len() && is_subset(small.exprs(), big.exprs())
+        })
+    });
+}
+
+/// Whether sorted `a` is a subset of sorted `b`.
+fn is_subset(a: &[Expr], b: &[Expr]) -> bool {
+    let mut bi = 0;
+    'outer: for x in a {
+        while bi < b.len() {
+            match b[bi].cmp(x) {
+                std::cmp::Ordering::Less => bi += 1,
+                std::cmp::Ordering::Equal => {
+                    bi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+impl fmt::Debug for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::True => write!(f, "true"),
+            Condition::False => write!(f, "false"),
+            Condition::Cnf(clauses) => {
+                for (i, c) in clauses.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{c:?}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(o: u32, a: u16) -> VarId {
+        VarId::new(o, a)
+    }
+
+    #[test]
+    fn normalization_rules() {
+        // Empty clause → false.
+        assert_eq!(Condition::from_clauses(vec![vec![]]), Condition::False);
+        // No clauses → true.
+        assert_eq!(Condition::from_clauses(Vec::<Vec<Expr>>::new()), Condition::True);
+        // Tautological clause dropped.
+        let e = Expr::lt(v(0, 0), 3);
+        let cond = Condition::from_clauses(vec![vec![e, e.negated()]]);
+        assert_eq!(cond, Condition::True);
+        // Duplicate clauses merged; duplicate exprs deduped.
+        let cond = Condition::from_clauses(vec![vec![e, e], vec![e]]);
+        assert_eq!(cond.clauses().len(), 1);
+        assert_eq!(cond.n_exprs(), 1);
+    }
+
+    #[test]
+    fn subsumed_clauses_are_dropped() {
+        let x = VarId::new(0, 0);
+        let y = VarId::new(1, 0);
+        let z = VarId::new(2, 0);
+        // (x < 2) subsumes (x < 2 ∨ y < 3): keep only the stronger clause.
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::lt(x, 2), Expr::lt(y, 3)],
+            vec![Expr::lt(x, 2)],
+            vec![Expr::gt(z, 5)],
+        ]);
+        assert_eq!(
+            cond,
+            Condition::from_clauses(vec![vec![Expr::lt(x, 2)], vec![Expr::gt(z, 5)]])
+        );
+        // Equal-length clauses never subsume each other.
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::lt(x, 2), Expr::lt(y, 3)],
+            vec![Expr::lt(x, 2), Expr::gt(z, 5)],
+        ]);
+        assert_eq!(cond.clauses().len(), 2);
+    }
+
+    #[test]
+    fn substitution_collapses() {
+        // (x < 2 ∨ y < 3) ∧ (x > 4): x = 5 → first clause becomes y < 3,
+        // second becomes true.
+        let x = v(0, 0);
+        let y = v(1, 0);
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::lt(x, 2), Expr::lt(y, 3)],
+            vec![Expr::gt(x, 4)],
+        ]);
+        let s = cond.substitute(x, 5);
+        assert_eq!(
+            s,
+            Condition::from_clauses(vec![vec![Expr::lt(y, 3)]])
+        );
+        // x = 1 → first clause true, second false → condition false.
+        assert_eq!(cond.substitute(x, 1), Condition::False);
+    }
+
+    #[test]
+    fn most_frequent_var_prefers_high_count_then_small_id() {
+        let x = v(0, 0);
+        let y = v(1, 0);
+        let z = v(2, 0);
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::lt(x, 2), Expr::lt(y, 2)],
+            vec![Expr::gt(y, 4), Expr::lt(z, 1)],
+        ]);
+        assert_eq!(cond.most_frequent_var(), Some(y));
+        // All tied → smallest id.
+        let cond = Condition::from_clauses(vec![vec![Expr::lt(x, 2), Expr::lt(z, 2)]]);
+        assert_eq!(cond.most_frequent_var(), Some(x));
+        assert_eq!(Condition::True.most_frequent_var(), None);
+    }
+
+    #[test]
+    fn simplify_with_decider() {
+        let x = v(0, 0);
+        let y = v(1, 0);
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::lt(x, 2), Expr::lt(y, 3)],
+            vec![Expr::gt(x, 0)],
+        ]);
+        // Decide "x < 2" false and "x > 0" true.
+        let s = cond.simplify(|e| {
+            if *e == Expr::lt(x, 2) {
+                Some(false)
+            } else if *e == Expr::gt(x, 0) {
+                Some(true)
+            } else {
+                None
+            }
+        });
+        assert_eq!(s, Condition::from_clauses(vec![vec![Expr::lt(y, 3)]]));
+    }
+
+    #[test]
+    fn and_expr_conjoins_a_unit_clause() {
+        let x = v(0, 0);
+        let e = Expr::lt(x, 2);
+        assert_eq!(
+            Condition::True.and_expr(e),
+            Condition::from_clauses(vec![vec![e]])
+        );
+        assert_eq!(Condition::False.and_expr(e), Condition::False);
+        let cond = Condition::from_clauses(vec![vec![Expr::gt(x, 0)]]);
+        assert_eq!(cond.and_expr(e).clauses().len(), 2);
+        // Conjoining a contradiction yields false after substitution.
+        let c2 = cond.and_expr(e).substitute(x, 3);
+        assert_eq!(c2, Condition::False);
+    }
+
+    #[test]
+    fn eval_full_assignment() {
+        let x = v(0, 0);
+        let y = v(1, 0);
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::lt(x, 2), Expr::lt(y, 3)],
+            vec![Expr::gt(x, 0)],
+        ]);
+        let assign = |vals: (Value, Value)| move |q: VarId| if q == x { vals.0 } else { vals.1 };
+        assert!(cond.eval(assign((1, 9))));
+        assert!(!cond.eval(assign((0, 9)))); // second clause fails
+        assert!(cond.eval(assign((5, 2)))); // first via y, second via x
+        assert!(!cond.eval(assign((5, 9))));
+    }
+
+    #[test]
+    fn vars_collects_both_sides() {
+        let cond = Condition::from_clauses(vec![vec![Expr::var_gt(v(5, 2), v(2, 2))]]);
+        let vars: Vec<VarId> = cond.vars().into_iter().collect();
+        assert_eq!(vars, vec![v(2, 2), v(5, 2)]);
+    }
+}

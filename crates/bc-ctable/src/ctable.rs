@@ -1,0 +1,199 @@
+//! The c-table itself: one condition per object, plus bulk update plumbing.
+
+use crate::condition::Condition;
+use crate::constraint::ConstraintStore;
+use bc_data::ObjectId;
+
+/// A conditional table: `entries[i]` is the condition `φ(o_i)` of object
+/// `o_i` being a skyline answer (Definition 3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CTable {
+    entries: Vec<Condition>,
+}
+
+impl CTable {
+    /// Wraps one condition per object (indexed by object id).
+    pub fn new(entries: Vec<Condition>) -> CTable {
+        CTable { entries }
+    }
+
+    /// Number of objects.
+    #[inline]
+    pub fn n_objects(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The condition of object `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is out of bounds.
+    #[inline]
+    pub fn condition(&self, o: ObjectId) -> &Condition {
+        &self.entries[o.index()]
+    }
+
+    /// Overwrites the condition of object `o`.
+    pub fn set_condition(&mut self, o: ObjectId, c: Condition) {
+        self.entries[o.index()] = c;
+    }
+
+    /// Iterates `(object, condition)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &Condition)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (ObjectId(i as u32), c))
+    }
+
+    /// Objects whose condition is still undecided.
+    pub fn open_objects(&self) -> Vec<ObjectId> {
+        self.iter()
+            .filter(|(_, c)| !c.is_decided())
+            .map(|(o, _)| o)
+            .collect()
+    }
+
+    /// Objects whose condition is `true` (certain answers).
+    pub fn certain_answers(&self) -> Vec<ObjectId> {
+        self.iter()
+            .filter(|(_, c)| matches!(c, Condition::True))
+            .map(|(o, _)| o)
+            .collect()
+    }
+
+    /// Total number of expressions still present in open conditions.
+    pub fn n_open_exprs(&self) -> usize {
+        self.entries.iter().map(Condition::n_exprs).sum()
+    }
+
+    /// Re-simplifies every open condition against the constraint store:
+    /// decides expressions settled by crowd knowledge, then substitutes any
+    /// variable pinned to a single value, iterating to a fixpoint per
+    /// condition.
+    pub fn propagate(&mut self, store: &ConstraintStore) {
+        for cond in &mut self.entries {
+            if cond.is_decided() {
+                continue;
+            }
+            let mut current = cond.clone();
+            loop {
+                let simplified = current.simplify(|e| store.decide(e));
+                // Substitute pinned variables to expose further collapses
+                // (e.g. a var-var expression becoming var-const).
+                let mut next = simplified.clone();
+                for v in simplified.vars() {
+                    if let Some(val) = store.pinned_value(v) {
+                        next = next.substitute(v, val);
+                    }
+                }
+                let done = next == current;
+                current = next;
+                if done {
+                    break;
+                }
+            }
+            *cond = current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_ctable, CTableConfig, DominatorStrategy};
+    use crate::expr::{Expr, Operand};
+    use crate::constraint::Relation;
+    use bc_data::generators::sample::paper_dataset;
+    use bc_data::VarId;
+
+    fn v(o: u32, a: u16) -> VarId {
+        VarId::new(o, a)
+    }
+
+    fn sample_ctable() -> (bc_data::Dataset, CTable) {
+        let data = paper_dataset();
+        let ct = build_ctable(
+            &data,
+            &CTableConfig {
+                alpha: 1.0,
+                strategy: DominatorStrategy::FastIndex,
+            },
+        );
+        (data, ct)
+    }
+
+    #[test]
+    fn bookkeeping() {
+        let (_, ct) = sample_ctable();
+        assert_eq!(ct.n_objects(), 5);
+        assert_eq!(ct.certain_answers(), vec![ObjectId(1), ObjectId(2)]);
+        assert_eq!(
+            ct.open_objects(),
+            vec![ObjectId(0), ObjectId(3), ObjectId(4)]
+        );
+        assert!(ct.n_open_exprs() >= 3 + 4 + 6);
+    }
+
+    /// The paper's Example 4 update: after the first round of answers
+    /// (`Var(o5,a4) < 4` and `Var(o5,a3) = 3`) the c-table becomes Table 5.
+    #[test]
+    fn paper_table_5_update() {
+        let (data, mut ct) = sample_ctable();
+        let mut store = crate::constraint::ConstraintStore::new(&data);
+        store.record(v(4, 3), Operand::Const(4), Relation::Lt);
+        store.record(v(4, 2), Operand::Const(3), Relation::Eq);
+        ct.propagate(&store);
+
+        // φ(o1) turns true.
+        assert_eq!(*ct.condition(ObjectId(0)), Condition::True);
+        // φ(o4) = (Var(o2,a2) < 3) ∧ (Var(o5,a2) < 3 ∨ Var(o5,a4) < 2).
+        let expected_o4 = Condition::from_clauses(vec![
+            vec![Expr::lt(v(1, 1), 3)],
+            vec![Expr::lt(v(4, 1), 3), Expr::lt(v(4, 3), 2)],
+        ]);
+        assert_eq!(*ct.condition(ObjectId(3)), expected_o4);
+        // φ(o5) = Var(o5,a2) > 2.
+        let expected_o5 = Condition::from_clauses(vec![vec![Expr::gt(v(4, 1), 2)]]);
+        assert_eq!(*ct.condition(ObjectId(4)), expected_o5);
+    }
+
+    /// Second iteration of Example 4: `Var(o5,a2) > 2` and
+    /// `Var(o2,a2) > 3` make φ(o5) true and φ(o4) false.
+    #[test]
+    fn paper_example_4_second_round() {
+        let (data, mut ct) = sample_ctable();
+        let mut store = crate::constraint::ConstraintStore::new(&data);
+        store.record(v(4, 3), Operand::Const(4), Relation::Lt);
+        store.record(v(4, 2), Operand::Const(3), Relation::Eq);
+        store.record(v(4, 1), Operand::Const(2), Relation::Gt);
+        store.record(v(1, 1), Operand::Const(3), Relation::Gt);
+        ct.propagate(&store);
+
+        assert_eq!(*ct.condition(ObjectId(4)), Condition::True);
+        assert_eq!(*ct.condition(ObjectId(3)), Condition::False);
+        assert_eq!(
+            ct.certain_answers(),
+            vec![ObjectId(0), ObjectId(1), ObjectId(2), ObjectId(4)]
+        );
+        assert!(ct.open_objects().is_empty());
+        assert_eq!(ct.n_open_exprs(), 0);
+    }
+
+    #[test]
+    fn propagate_substitutes_pinned_vars_into_var_var_exprs() {
+        let (data, mut ct) = sample_ctable();
+        let mut store = crate::constraint::ConstraintStore::new(&data);
+        // Pin Var(o2,a2) = 1: in φ(o5) the expression
+        // Var(o5,a2) > Var(o2,a2) becomes Var(o5,a2) > 1.
+        store.record(v(1, 1), Operand::Const(1), Relation::Eq);
+        ct.propagate(&store);
+        let cond = ct.condition(ObjectId(4));
+        assert!(
+            cond.exprs().any(|e| *e == Expr::gt(v(4, 1), 1)),
+            "expected substituted expression, got {cond}"
+        );
+        // φ(o4)'s first clause (Var(o2,a2) < 3) is now true and disappears.
+        assert_eq!(ct.condition(ObjectId(3)).clauses().len(), 1);
+    }
+}

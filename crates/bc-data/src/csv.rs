@@ -1,0 +1,179 @@
+//! Plain-text import/export of incomplete datasets.
+//!
+//! A deliberately tiny CSV dialect (no quoting, comma-separated) so real
+//! datasets like the NBA table can be dropped in: the first line holds
+//! `name:cardinality` headers, each following line one object, `?` marking a
+//! missing value.
+//!
+//! ```text
+//! points:10,rebounds:10,assists:10
+//! 5,2,3
+//! 6,?,2
+//! ```
+
+use crate::dataset::Dataset;
+use crate::domain::Domain;
+use crate::error::DataError;
+use crate::ids::ObjectId;
+use std::fmt::Write as _;
+
+/// Errors specific to the CSV dialect (wrapping [`DataError`] for the
+/// structural checks).
+#[derive(Debug)]
+pub enum CsvError {
+    /// A header cell was not of the form `name:cardinality`.
+    BadHeader {
+        /// The offending cell.
+        cell: String,
+    },
+    /// A value cell was neither an integer nor `?`.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// The offending cell.
+        cell: String,
+    },
+    /// The dataset itself was malformed.
+    Data(DataError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadHeader { cell } => {
+                write!(f, "header cell {cell:?} is not `name:cardinality`")
+            }
+            CsvError::BadValue { line, cell } => {
+                write!(f, "line {line}: cell {cell:?} is not an integer or `?`")
+            }
+            CsvError::Data(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<DataError> for CsvError {
+    fn from(e: DataError) -> Self {
+        CsvError::Data(e)
+    }
+}
+
+/// Parses the dialect described in the module docs.
+pub fn parse_csv(name: &str, text: &str) -> Result<Dataset, CsvError> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().unwrap_or("");
+    let mut domains = Vec::new();
+    for cell in header.split(',') {
+        let cell = cell.trim();
+        let (attr_name, card) = cell.rsplit_once(':').ok_or_else(|| CsvError::BadHeader {
+            cell: cell.to_string(),
+        })?;
+        let card: u16 = card.parse().map_err(|_| CsvError::BadHeader {
+            cell: cell.to_string(),
+        })?;
+        domains.push(Domain::new(attr_name.trim(), card)?);
+    }
+
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let mut row = Vec::with_capacity(domains.len());
+        for cell in line.split(',') {
+            let cell = cell.trim();
+            if cell == "?" {
+                row.push(None);
+            } else {
+                let v: u16 = cell.parse().map_err(|_| CsvError::BadValue {
+                    line: i + 2,
+                    cell: cell.to_string(),
+                })?;
+                row.push(Some(v));
+            }
+        }
+        rows.push(row);
+    }
+    Ok(Dataset::from_rows(name, domains, rows)?)
+}
+
+/// Serializes a dataset back into the dialect ([`parse_csv`] round-trips).
+pub fn to_csv(data: &Dataset) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = data
+        .domains()
+        .iter()
+        .map(|d| format!("{}:{}", d.name(), d.cardinality()))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for o in 0..data.n_objects() {
+        let row: Vec<String> = data
+            .row(ObjectId(o as u32))
+            .iter()
+            .map(|c| match c {
+                Some(v) => v.to_string(),
+                None => "?".to_string(),
+            })
+            .collect();
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::sample::paper_dataset;
+    use crate::ids::AttrId;
+
+    #[test]
+    fn parses_the_module_example() {
+        let text = "points:10,rebounds:10,assists:10\n5,2,3\n6,?,2\n";
+        let ds = parse_csv("nba", text).unwrap();
+        assert_eq!(ds.n_objects(), 2);
+        assert_eq!(ds.n_attrs(), 3);
+        assert_eq!(ds.domain(AttrId(0)).name(), "points");
+        assert_eq!(ds.get(ObjectId(1), AttrId(1)), None);
+        assert_eq!(ds.get(ObjectId(0), AttrId(2)), Some(3));
+    }
+
+    #[test]
+    fn roundtrips_the_paper_sample() {
+        let ds = paper_dataset();
+        let text = to_csv(&ds);
+        let back = parse_csv(ds.name(), &text).unwrap();
+        assert_eq!(back.domains(), ds.domains());
+        for o in ds.objects() {
+            assert_eq!(back.row(o), ds.row(o));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(matches!(
+            parse_csv("x", "noheader\n1\n"),
+            Err(CsvError::BadHeader { .. })
+        ));
+        assert!(matches!(
+            parse_csv("x", "a:4\nxyz\n"),
+            Err(CsvError::BadValue { line: 2, .. })
+        ));
+        assert!(matches!(
+            parse_csv("x", "a:4\n9\n"),
+            Err(CsvError::Data(DataError::ValueOutOfDomain { .. }))
+        ));
+        assert!(matches!(
+            parse_csv("x", "a:4,b:4\n1\n"),
+            Err(CsvError::Data(DataError::RowArity { .. }))
+        ));
+        assert!(matches!(
+            parse_csv("x", "a:0\n"),
+            Err(CsvError::Data(DataError::InvalidDomain { .. }))
+        ));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let ds = parse_csv("x", "\na:4\n\n1\n\n2\n").unwrap();
+        assert_eq!(ds.n_objects(), 2);
+    }
+}

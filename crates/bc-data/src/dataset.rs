@@ -1,0 +1,317 @@
+//! The incomplete dataset: objects over discrete domains with missing cells.
+
+use crate::domain::{Domain, Value};
+use crate::error::DataError;
+use crate::ids::{AttrId, ObjectId, VarId};
+use serde::{Deserialize, Serialize};
+
+/// A (possibly incomplete) dataset `O` of objects over discrete attributes.
+///
+/// Cells are stored row-major; `None` marks a missing value — the paper's
+/// `Var(o, a)` variable. Larger values are better for the skyline query.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    domains: Vec<Domain>,
+    cells: Vec<Option<Value>>,
+    n_objects: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from rows. Each row must have one entry per domain
+    /// and every observed value must lie inside its domain.
+    pub fn from_rows(
+        name: impl Into<String>,
+        domains: Vec<Domain>,
+        rows: Vec<Vec<Option<Value>>>,
+    ) -> Result<Self, DataError> {
+        let d = domains.len();
+        let mut cells = Vec::with_capacity(rows.len() * d);
+        for (oi, row) in rows.iter().enumerate() {
+            if row.len() != d {
+                return Err(DataError::RowArity {
+                    object: oi,
+                    found: row.len(),
+                    expected: d,
+                });
+            }
+            for (ai, &cell) in row.iter().enumerate() {
+                if let Some(v) = cell {
+                    if !domains[ai].contains(v) {
+                        return Err(DataError::ValueOutOfDomain {
+                            object: oi,
+                            attr: ai,
+                            value: v,
+                            cardinality: domains[ai].cardinality(),
+                        });
+                    }
+                }
+                cells.push(cell);
+            }
+        }
+        Ok(Dataset {
+            name: name.into(),
+            domains,
+            cells,
+            n_objects: rows.len(),
+        })
+    }
+
+    /// Creates a complete dataset from fully observed rows.
+    pub fn from_complete_rows(
+        name: impl Into<String>,
+        domains: Vec<Domain>,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<Self, DataError> {
+        let rows = rows
+            .into_iter()
+            .map(|r| r.into_iter().map(Some).collect())
+            .collect();
+        Self::from_rows(name, domains, rows)
+    }
+
+    /// Dataset name (for reports).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of objects `|O|`.
+    #[inline]
+    pub fn n_objects(&self) -> usize {
+        self.n_objects
+    }
+
+    /// Number of attributes `d`.
+    #[inline]
+    pub fn n_attrs(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// All attribute domains, in column order.
+    #[inline]
+    pub fn domains(&self) -> &[Domain] {
+        &self.domains
+    }
+
+    /// The domain of attribute `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is out of bounds.
+    #[inline]
+    pub fn domain(&self, a: AttrId) -> &Domain {
+        &self.domains[a.index()]
+    }
+
+    /// The cell `(o, a)`: `Some(v)` if observed, `None` if missing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of bounds.
+    #[inline]
+    pub fn get(&self, o: ObjectId, a: AttrId) -> Option<Value> {
+        self.cells[o.index() * self.n_attrs() + a.index()]
+    }
+
+    /// Overwrites cell `(o, a)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if indices are out of bounds or the value is outside the domain.
+    pub fn set(&mut self, o: ObjectId, a: AttrId, cell: Option<Value>) -> Result<(), DataError> {
+        if o.index() >= self.n_objects {
+            return Err(DataError::IndexOutOfBounds {
+                what: "object",
+                index: o.index(),
+                len: self.n_objects,
+            });
+        }
+        if a.index() >= self.n_attrs() {
+            return Err(DataError::IndexOutOfBounds {
+                what: "attribute",
+                index: a.index(),
+                len: self.n_attrs(),
+            });
+        }
+        if let Some(v) = cell {
+            if !self.domains[a.index()].contains(v) {
+                return Err(DataError::ValueOutOfDomain {
+                    object: o.index(),
+                    attr: a.index(),
+                    value: v,
+                    cardinality: self.domains[a.index()].cardinality(),
+                });
+            }
+        }
+        let d = self.n_attrs();
+        self.cells[o.index() * d + a.index()] = cell;
+        Ok(())
+    }
+
+    /// The full row of object `o` (one entry per attribute).
+    #[inline]
+    pub fn row(&self, o: ObjectId) -> &[Option<Value>] {
+        let d = self.n_attrs();
+        &self.cells[o.index() * d..(o.index() + 1) * d]
+    }
+
+    /// Iterator over all object ids.
+    pub fn objects(&self) -> impl Iterator<Item = ObjectId> {
+        (0..self.n_objects as u32).map(ObjectId)
+    }
+
+    /// Iterator over all attribute ids.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> {
+        (0..self.n_attrs() as u16).map(AttrId)
+    }
+
+    /// All missing-cell variables, in row-major order.
+    pub fn missing_vars(&self) -> Vec<VarId> {
+        let d = self.n_attrs();
+        self.cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(i, _)| VarId::new((i / d) as u32, (i % d) as u16))
+            .collect()
+    }
+
+    /// Number of missing cells.
+    pub fn n_missing(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_none()).count()
+    }
+
+    /// The paper's *missing rate*: missing cells over total cells.
+    pub fn missing_rate(&self) -> f64 {
+        if self.cells.is_empty() {
+            0.0
+        } else {
+            self.n_missing() as f64 / self.cells.len() as f64
+        }
+    }
+
+    /// Whether every cell is observed.
+    pub fn is_complete(&self) -> bool {
+        self.cells.iter().all(|c| c.is_some())
+    }
+
+    /// Keeps only the first `n` objects (used by the cardinality sweeps).
+    pub fn truncated(&self, n: usize) -> Dataset {
+        let n = n.min(self.n_objects);
+        let d = self.n_attrs();
+        Dataset {
+            name: self.name.clone(),
+            domains: self.domains.clone(),
+            cells: self.cells[..n * d].to_vec(),
+            n_objects: n,
+        }
+    }
+
+    /// Keeps only the given attribute columns, in the given order.
+    pub fn project(&self, attrs: &[AttrId]) -> Result<Dataset, DataError> {
+        for &a in attrs {
+            if a.index() >= self.n_attrs() {
+                return Err(DataError::IndexOutOfBounds {
+                    what: "attribute",
+                    index: a.index(),
+                    len: self.n_attrs(),
+                });
+            }
+        }
+        let domains = attrs.iter().map(|&a| self.domains[a.index()].clone()).collect();
+        let mut cells = Vec::with_capacity(self.n_objects * attrs.len());
+        for o in self.objects() {
+            let row = self.row(o);
+            cells.extend(attrs.iter().map(|&a| row[a.index()]));
+        }
+        Ok(Dataset {
+            name: self.name.clone(),
+            domains,
+            cells,
+            n_objects: self.n_objects,
+        })
+    }
+
+    /// Rows where *every* attribute is observed, as dense value vectors.
+    /// This is the listwise-deleted view used for Bayesian-network training.
+    pub fn complete_rows(&self) -> Vec<Vec<Value>> {
+        self.objects()
+            .filter_map(|o| {
+                let row = self.row(o);
+                row.iter().copied().collect::<Option<Vec<Value>>>()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::uniform_domains;
+
+    fn tiny() -> Dataset {
+        Dataset::from_rows(
+            "t",
+            uniform_domains(3, 8).unwrap(),
+            vec![
+                vec![Some(1), Some(2), Some(3)],
+                vec![Some(4), None, Some(6)],
+                vec![None, None, Some(0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut d = tiny();
+        assert_eq!(d.get(ObjectId(1), AttrId(1)), None);
+        d.set(ObjectId(1), AttrId(1), Some(7)).unwrap();
+        assert_eq!(d.get(ObjectId(1), AttrId(1)), Some(7));
+        assert!(d.set(ObjectId(1), AttrId(1), Some(8)).is_err());
+        assert!(d.set(ObjectId(9), AttrId(0), Some(0)).is_err());
+        assert!(d.set(ObjectId(0), AttrId(9), Some(0)).is_err());
+    }
+
+    #[test]
+    fn missing_accounting() {
+        let d = tiny();
+        assert_eq!(d.n_missing(), 3);
+        assert!((d.missing_rate() - 3.0 / 9.0).abs() < 1e-12);
+        assert_eq!(
+            d.missing_vars(),
+            vec![VarId::new(1, 1), VarId::new(2, 0), VarId::new(2, 1)]
+        );
+        assert!(!d.is_complete());
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let doms = uniform_domains(2, 4).unwrap();
+        assert!(Dataset::from_rows("x", doms.clone(), vec![vec![Some(0)]]).is_err());
+        assert!(Dataset::from_rows("x", doms, vec![vec![Some(0), Some(4)]]).is_err());
+    }
+
+    #[test]
+    fn truncated_keeps_prefix() {
+        let d = tiny().truncated(2);
+        assert_eq!(d.n_objects(), 2);
+        assert_eq!(d.row(ObjectId(1)), &[Some(4), None, Some(6)]);
+        assert_eq!(tiny().truncated(99).n_objects(), 3);
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let d = tiny().project(&[AttrId(2), AttrId(0)]).unwrap();
+        assert_eq!(d.n_attrs(), 2);
+        assert_eq!(d.row(ObjectId(0)), &[Some(3), Some(1)]);
+        assert!(tiny().project(&[AttrId(5)]).is_err());
+    }
+
+    #[test]
+    fn complete_rows_listwise_deletes() {
+        let rows = tiny().complete_rows();
+        assert_eq!(rows, vec![vec![1, 2, 3]]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Discrete attribute domains.
+//!
+//! BayesCrowd's preprocessing step discretizes every attribute into a small
+//! ordered set of values `0..cardinality` where *larger is better* (the
+//! paper's dominance convention). Keeping cardinality at or below
+//! [`MAX_CARDINALITY`] lets the rest of the workspace represent "set of still
+//! possible values" as a single `u64` bitmask, which is what makes constraint
+//! propagation after crowd answers cheap.
+
+use crate::error::DataError;
+use serde::{Deserialize, Serialize};
+
+/// A discretized attribute value. Values range over `0..cardinality` of the
+/// owning [`Domain`]; larger values are preferred by the skyline query.
+pub type Value = u16;
+
+/// Maximum number of distinct values an attribute domain may have.
+///
+/// Chosen so a set of candidate values fits in one `u64` bitmask.
+pub const MAX_CARDINALITY: u16 = 64;
+
+/// An attribute's name and discrete value domain `0..cardinality`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Domain {
+    name: String,
+    cardinality: u16,
+}
+
+impl Domain {
+    /// Creates a domain with `cardinality` distinct values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidDomain`] if `cardinality` is zero or
+    /// exceeds [`MAX_CARDINALITY`].
+    pub fn new(name: impl Into<String>, cardinality: u16) -> Result<Self, DataError> {
+        let name = name.into();
+        if cardinality == 0 || cardinality > MAX_CARDINALITY {
+            return Err(DataError::InvalidDomain { name, cardinality });
+        }
+        Ok(Domain { name, cardinality })
+    }
+
+    /// The attribute's human-readable name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of distinct values; valid values are `0..cardinality`.
+    #[inline]
+    pub fn cardinality(&self) -> u16 {
+        self.cardinality
+    }
+
+    /// The largest valid value of this domain.
+    #[inline]
+    pub fn max_value(&self) -> Value {
+        self.cardinality - 1
+    }
+
+    /// Whether `v` is a valid value of this domain.
+    #[inline]
+    pub fn contains(&self, v: Value) -> bool {
+        v < self.cardinality
+    }
+
+    /// Bitmask with one bit set per valid value (bit `i` = value `i`).
+    #[inline]
+    pub fn full_mask(&self) -> u64 {
+        if self.cardinality == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.cardinality) - 1
+        }
+    }
+
+    /// Iterator over every value of the domain, ascending.
+    pub fn values(&self) -> impl Iterator<Item = Value> {
+        0..self.cardinality
+    }
+}
+
+/// Builds `d` identically-sized domains named `a1..ad`, mirroring the paper's
+/// attribute naming.
+pub fn uniform_domains(d: usize, cardinality: u16) -> Result<Vec<Domain>, DataError> {
+    (1..=d)
+        .map(|i| Domain::new(format!("a{i}"), cardinality))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_and_oversized_cardinality() {
+        assert!(Domain::new("a", 0).is_err());
+        assert!(Domain::new("a", 65).is_err());
+        assert!(Domain::new("a", 64).is_ok());
+    }
+
+    #[test]
+    fn full_mask_covers_exactly_the_domain() {
+        let d = Domain::new("a", 10).unwrap();
+        assert_eq!(d.full_mask(), 0b11_1111_1111);
+        let d64 = Domain::new("a", 64).unwrap();
+        assert_eq!(d64.full_mask(), u64::MAX);
+    }
+
+    #[test]
+    fn contains_and_max_value() {
+        let d = Domain::new("a", 8).unwrap();
+        assert!(d.contains(7));
+        assert!(!d.contains(8));
+        assert_eq!(d.max_value(), 7);
+        assert_eq!(d.values().count(), 8);
+    }
+
+    #[test]
+    fn uniform_domains_names_match_paper() {
+        let ds = uniform_domains(3, 5).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds[0].name(), "a1");
+        assert_eq!(ds[2].name(), "a3");
+    }
+}

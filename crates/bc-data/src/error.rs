@@ -1,0 +1,103 @@
+//! Error type for dataset construction and queries.
+
+use std::fmt;
+
+/// Errors raised by the data substrate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataError {
+    /// A domain was declared with an unusable cardinality.
+    InvalidDomain {
+        /// Attribute name.
+        name: String,
+        /// The offending cardinality.
+        cardinality: u16,
+    },
+    /// A cell value lies outside its attribute domain.
+    ValueOutOfDomain {
+        /// Row index.
+        object: usize,
+        /// Column index.
+        attr: usize,
+        /// The offending value.
+        value: u16,
+        /// The domain's cardinality.
+        cardinality: u16,
+    },
+    /// A row had the wrong number of columns.
+    RowArity {
+        /// Row index.
+        object: usize,
+        /// Columns found in the row.
+        found: usize,
+        /// Columns expected (number of domains).
+        expected: usize,
+    },
+    /// An object or attribute index was out of bounds.
+    IndexOutOfBounds {
+        /// Description of what was being indexed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+    /// An operation that requires complete data met a missing cell.
+    IncompleteData {
+        /// Description of the operation.
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidDomain { name, cardinality } => write!(
+                f,
+                "domain {name:?} has invalid cardinality {cardinality} (must be 1..=64)"
+            ),
+            DataError::ValueOutOfDomain {
+                object,
+                attr,
+                value,
+                cardinality,
+            } => write!(
+                f,
+                "value {value} at (object {object}, attr {attr}) exceeds domain cardinality {cardinality}"
+            ),
+            DataError::RowArity {
+                object,
+                found,
+                expected,
+            } => write!(
+                f,
+                "row {object} has {found} columns, expected {expected}"
+            ),
+            DataError::IndexOutOfBounds { what, index, len } => {
+                write!(f, "{what} index {index} out of bounds (len {len})")
+            }
+            DataError::IncompleteData { operation } => {
+                write!(f, "{operation} requires complete data but met a missing cell")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = DataError::InvalidDomain {
+            name: "pts".into(),
+            cardinality: 0,
+        };
+        assert!(e.to_string().contains("pts"));
+        let e = DataError::IncompleteData {
+            operation: "skyline",
+        };
+        assert!(e.to_string().contains("skyline"));
+    }
+}

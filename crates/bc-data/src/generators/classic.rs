@@ -1,0 +1,98 @@
+//! Classic skyline workloads (Borzsonyi et al.): independent, correlated,
+//! and anti-correlated attribute distributions, discretized.
+
+use crate::dataset::Dataset;
+use crate::domain::{uniform_domains, Value};
+use rand::Rng;
+use rand::SeedableRng;
+
+fn discretize(x: f64, cardinality: u16) -> Value {
+    let max = (cardinality - 1) as f64;
+    (x.clamp(0.0, 1.0) * max).round() as Value
+}
+
+/// `n` objects with `d` independently uniform attributes over `0..cardinality`.
+pub fn independent(n: usize, d: usize, cardinality: u16, seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let rows = (0..n)
+        .map(|_| (0..d).map(|_| discretize(rng.gen(), cardinality)).collect())
+        .collect();
+    Dataset::from_complete_rows("independent", uniform_domains(d, cardinality).unwrap(), rows)
+        .expect("generated values lie in the domain")
+}
+
+/// Correlated workload: attributes share a latent base value, so skylines are
+/// small. `strength` in `[0, 1]` controls how tightly attributes track the
+/// base.
+pub fn correlated(n: usize, d: usize, cardinality: u16, strength: f64, seed: u64) -> Dataset {
+    let s = strength.clamp(0.0, 1.0);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let rows = (0..n)
+        .map(|_| {
+            let base: f64 = rng.gen();
+            (0..d)
+                .map(|_| {
+                    let noise: f64 = rng.gen();
+                    discretize(s * base + (1.0 - s) * noise, cardinality)
+                })
+                .collect()
+        })
+        .collect();
+    Dataset::from_complete_rows("correlated", uniform_domains(d, cardinality).unwrap(), rows)
+        .expect("generated values lie in the domain")
+}
+
+/// Anti-correlated workload: objects good in one attribute tend to be bad in
+/// others, producing large skylines.
+pub fn anticorrelated(n: usize, d: usize, cardinality: u16, seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let rows = (0..n)
+        .map(|_| {
+            let base: f64 = rng.gen();
+            (0..d)
+                .map(|j| {
+                    let noise: f64 = rng.gen::<f64>() * 0.3;
+                    let x = if j % 2 == 0 { base } else { 1.0 - base };
+                    discretize((x * 0.7 + noise).clamp(0.0, 1.0), cardinality)
+                })
+                .collect()
+        })
+        .collect();
+    Dataset::from_complete_rows(
+        "anticorrelated",
+        uniform_domains(d, cardinality).unwrap(),
+        rows,
+    )
+    .expect("generated values lie in the domain")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skyline::skyline_sfs;
+
+    #[test]
+    fn shapes_and_determinism() {
+        for ds in [
+            independent(100, 4, 8, 3),
+            correlated(100, 4, 8, 0.8, 3),
+            anticorrelated(100, 4, 8, 3),
+        ] {
+            assert_eq!(ds.n_objects(), 100);
+            assert_eq!(ds.n_attrs(), 4);
+            assert!(ds.is_complete());
+        }
+        assert_eq!(independent(50, 3, 8, 1), independent(50, 3, 8, 1));
+    }
+
+    #[test]
+    fn anticorrelated_has_larger_skyline_than_correlated() {
+        let n = 800;
+        let corr = skyline_sfs(&correlated(n, 4, 16, 0.9, 5)).unwrap().len();
+        let anti = skyline_sfs(&anticorrelated(n, 4, 16, 5)).unwrap().len();
+        assert!(
+            anti > corr,
+            "anti-correlated skyline ({anti}) should exceed correlated ({corr})"
+        );
+    }
+}

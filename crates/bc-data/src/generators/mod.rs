@@ -1,0 +1,12 @@
+//! Workload generators.
+//!
+//! * [`sample`] — the paper's running example (Table 1) plus a hidden
+//!   completion consistent with the crowd answers of Example 4.
+//! * [`nba`] — an NBA-like generator: 11 correlated, discretized per-player
+//!   statistics, standing in for the real 10,000-record NBA dataset.
+//! * [`classic`] — the standard skyline workloads (independent, correlated,
+//!   anti-correlated) from Borzsonyi et al.
+
+pub mod classic;
+pub mod nba;
+pub mod sample;

@@ -1,0 +1,109 @@
+//! The paper's running example: five movies rated by five audiences
+//! (Table 1), with five ratings missing.
+
+use crate::dataset::Dataset;
+use crate::domain::Domain;
+
+/// Builds the attribute domains of the sample dataset.
+///
+/// Cardinalities follow Example 3 of the paper: `a2` ranges over `0..=9`,
+/// `a3` over `0..=7`, and `a4` over `0..=5`; `a1`/`a5` get the movie-rating
+/// range `0..=9`.
+pub fn paper_domains() -> Vec<Domain> {
+    vec![
+        Domain::new("a1", 10).expect("static cardinality is valid"),
+        Domain::new("a2", 10).expect("static cardinality is valid"),
+        Domain::new("a3", 8).expect("static cardinality is valid"),
+        Domain::new("a4", 6).expect("static cardinality is valid"),
+        Domain::new("a5", 10).expect("static cardinality is valid"),
+    ]
+}
+
+/// The incomplete sample dataset of Table 1.
+///
+/// ```text
+/// o1  Schindler's List   5  2       3       4       1
+/// o2  Se7en              6  Var     2       2       2
+/// o3  The Godfather      1  1       Var     5       3
+/// o4  The Lion King      4  3       1       2       1
+/// o5  Star Wars          5  Var     Var     Var     1
+/// ```
+pub fn paper_dataset() -> Dataset {
+    Dataset::from_rows(
+        "paper-sample",
+        paper_domains(),
+        vec![
+            vec![Some(5), Some(2), Some(3), Some(4), Some(1)],
+            vec![Some(6), None, Some(2), Some(2), Some(2)],
+            vec![Some(1), Some(1), None, Some(5), Some(3)],
+            vec![Some(4), Some(3), Some(1), Some(2), Some(1)],
+            vec![Some(5), None, None, None, Some(1)],
+        ],
+    )
+    .expect("the static sample dataset is well-formed")
+}
+
+/// A completion of [`paper_dataset`] consistent with the crowd answers the
+/// paper assumes in Example 4 (`Var(o5,a4) < 4`, `Var(o5,a3) = 3`,
+/// `Var(o5,a2) > 2`, `Var(o2,a2) > 3`).
+///
+/// Under this completion the true skyline is `{o1, o2, o3, o5}`, matching
+/// the paper's final updated c-table (Table 5 after the second iteration).
+pub fn paper_completion() -> Dataset {
+    Dataset::from_complete_rows(
+        "paper-sample-complete",
+        paper_domains(),
+        vec![
+            vec![5, 2, 3, 4, 1],
+            vec![6, 4, 2, 2, 2],
+            vec![1, 1, 4, 5, 3],
+            vec![4, 3, 1, 2, 1],
+            vec![5, 4, 3, 2, 1],
+        ],
+    )
+    .expect("the static completion is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AttrId, ObjectId};
+    use crate::skyline::skyline_bnl;
+
+    #[test]
+    fn sample_matches_table_1() {
+        let d = paper_dataset();
+        assert_eq!(d.n_objects(), 5);
+        assert_eq!(d.n_attrs(), 5);
+        assert_eq!(d.n_missing(), 5);
+        assert_eq!(d.get(ObjectId(1), AttrId(1)), None);
+        assert_eq!(d.get(ObjectId(2), AttrId(2)), None);
+        assert_eq!(d.get(ObjectId(4), AttrId(1)), None);
+        assert_eq!(d.get(ObjectId(4), AttrId(2)), None);
+        assert_eq!(d.get(ObjectId(4), AttrId(3)), None);
+        assert_eq!(d.get(ObjectId(0), AttrId(0)), Some(5));
+    }
+
+    #[test]
+    fn completion_agrees_on_observed_cells() {
+        let inc = paper_dataset();
+        let com = paper_completion();
+        for o in inc.objects() {
+            for a in inc.attrs() {
+                if let Some(v) = inc.get(o, a) {
+                    assert_eq!(com.get(o, a), Some(v));
+                }
+            }
+        }
+        assert!(com.is_complete());
+    }
+
+    #[test]
+    fn completion_skyline_matches_paper_outcome() {
+        let sky = skyline_bnl(&paper_completion()).unwrap();
+        assert_eq!(
+            sky,
+            vec![ObjectId(0), ObjectId(1), ObjectId(2), ObjectId(4)]
+        );
+    }
+}

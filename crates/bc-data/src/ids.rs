@@ -1,0 +1,112 @@
+//! Strongly-typed identifiers for objects, attributes, and missing-value
+//! variables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of an object (row) in a [`crate::Dataset`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ObjectId(pub u32);
+
+/// Index of an attribute (column) in a [`crate::Dataset`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AttrId(pub u16);
+
+/// A missing-value variable `Var(o, a)`: the unknown value of attribute `a`
+/// of object `o`. This is the unit the crowd is asked about.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId {
+    /// The object whose cell is missing.
+    pub object: ObjectId,
+    /// The attribute of the missing cell.
+    pub attr: AttrId,
+}
+
+impl ObjectId {
+    /// The row index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl AttrId {
+    /// The column index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl VarId {
+    /// Convenience constructor from raw indices.
+    #[inline]
+    pub fn new(object: u32, attr: u16) -> Self {
+        VarId {
+            object: ObjectId(object),
+            attr: AttrId(attr),
+        }
+    }
+}
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Debug for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({}, {})", self.object, self.attr)
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({}, {})", self.object, self.attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let v = VarId::new(5, 2);
+        assert_eq!(v.to_string(), "Var(o5, a2)");
+        assert_eq!(format!("{v:?}"), "Var(o5, a2)");
+    }
+
+    #[test]
+    fn ordering_is_object_major() {
+        let a = VarId::new(1, 9);
+        let b = VarId::new(2, 0);
+        assert!(a < b);
+        assert!(VarId::new(1, 0) < a);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(ObjectId(7).index(), 7);
+        assert_eq!(AttrId(3).index(), 3);
+    }
+}

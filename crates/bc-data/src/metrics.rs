@@ -1,0 +1,99 @@
+//! Query-accuracy metrics.
+//!
+//! The paper reports the F1 score of the returned answer set against the
+//! skyline of the corresponding complete data.
+
+use crate::ids::ObjectId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Precision / recall / F1 of a returned answer set against ground truth.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Accuracy {
+    /// Fraction of returned objects that are true answers.
+    pub precision: f64,
+    /// Fraction of true answers that were returned.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl Accuracy {
+    /// Computes accuracy of `result` against `truth` (order irrelevant).
+    ///
+    /// Conventions for the degenerate cases: an empty result has precision 1;
+    /// an empty truth has recall 1; F1 is 0 when precision + recall is 0.
+    pub fn of(result: &[ObjectId], truth: &[ObjectId]) -> Accuracy {
+        let result: HashSet<ObjectId> = result.iter().copied().collect();
+        let truth_set: HashSet<ObjectId> = truth.iter().copied().collect();
+        let tp = result.intersection(&truth_set).count() as f64;
+        let precision = if result.is_empty() {
+            1.0
+        } else {
+            tp / result.len() as f64
+        };
+        let recall = if truth_set.is_empty() {
+            1.0
+        } else {
+            tp / truth_set.len() as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Accuracy {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<ObjectId> {
+        v.iter().copied().map(ObjectId).collect()
+    }
+
+    #[test]
+    fn perfect_match() {
+        let a = Accuracy::of(&ids(&[1, 2, 3]), &ids(&[3, 2, 1]));
+        assert_eq!(a.precision, 1.0);
+        assert_eq!(a.recall, 1.0);
+        assert_eq!(a.f1, 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let a = Accuracy::of(&ids(&[1, 2]), &ids(&[2, 3, 4]));
+        assert!((a.precision - 0.5).abs() < 1e-12);
+        assert!((a.recall - 1.0 / 3.0).abs() < 1e-12);
+        assert!((a.f1 - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_sets_are_zero() {
+        let a = Accuracy::of(&ids(&[1]), &ids(&[2]));
+        assert_eq!(a.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_result_and_truth_conventions() {
+        let a = Accuracy::of(&[], &ids(&[1]));
+        assert_eq!(a.precision, 1.0);
+        assert_eq!(a.recall, 0.0);
+        let b = Accuracy::of(&ids(&[1]), &[]);
+        assert_eq!(b.recall, 1.0);
+        let c = Accuracy::of(&[], &[]);
+        assert_eq!(c.f1, 1.0);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let a = Accuracy::of(&ids(&[1, 1, 2]), &ids(&[1, 2]));
+        assert_eq!(a.f1, 1.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! Preference-direction handling.
+//!
+//! The paper assumes "the larger the value, the better" and notes the
+//! solution "likewise does work for the case of preferring smaller values".
+//! This module realizes that by *reflecting* minimized attributes
+//! (`v ↦ max − v`) so that the entire pipeline can keep its larger-is-better
+//! convention.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::ids::AttrId;
+
+/// Which direction an attribute is optimized in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger values are better (the paper's default).
+    Maximize,
+    /// Smaller values are better.
+    Minimize,
+}
+
+/// Returns a copy of `data` in which every `Minimize` attribute is
+/// reflected (`v ↦ max_value − v`), making the standard larger-is-better
+/// skyline over the result equivalent to the mixed-direction skyline over
+/// the input. Reflecting is an involution: applying the same directions
+/// twice restores the original dataset.
+///
+/// # Errors
+///
+/// Returns [`DataError::IndexOutOfBounds`] via the underlying setters if
+/// `directions` has the wrong arity.
+pub fn normalize_directions(data: &Dataset, directions: &[Direction]) -> Result<Dataset, DataError> {
+    if directions.len() != data.n_attrs() {
+        return Err(DataError::RowArity {
+            object: 0,
+            found: directions.len(),
+            expected: data.n_attrs(),
+        });
+    }
+    let mut out = data.clone();
+    for (a, &dir) in directions.iter().enumerate() {
+        if dir == Direction::Maximize {
+            continue;
+        }
+        let attr = AttrId(a as u16);
+        let max = data.domain(attr).max_value();
+        for o in data.objects() {
+            if let Some(v) = data.get(o, attr) {
+                out.set(o, attr, Some(max - v))?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::uniform_domains;
+    use crate::ids::ObjectId;
+    use crate::skyline::skyline_bnl;
+
+    fn ds(rows: Vec<Vec<u16>>) -> Dataset {
+        let d = rows[0].len();
+        Dataset::from_complete_rows("t", uniform_domains(d, 10).unwrap(), rows).unwrap()
+    }
+
+    #[test]
+    fn minimize_flips_the_winner() {
+        // Price (minimize) and quality (maximize): the cheap high-quality
+        // item must win after normalization.
+        let data = ds(vec![
+            vec![9, 3], // expensive, mediocre
+            vec![1, 3], // cheap, same quality → dominates under min-price
+            vec![5, 9],
+        ]);
+        let norm = normalize_directions(&data, &[Direction::Minimize, Direction::Maximize]).unwrap();
+        let sky = skyline_bnl(&norm).unwrap();
+        assert!(sky.contains(&ObjectId(1)));
+        assert!(!sky.contains(&ObjectId(0)), "dominated once price is minimized");
+        assert!(sky.contains(&ObjectId(2)));
+    }
+
+    #[test]
+    fn normalization_is_an_involution() {
+        let mut data = ds(vec![vec![3, 7], vec![0, 9]]);
+        data.set(ObjectId(0), AttrId(1), None).unwrap();
+        let dirs = [Direction::Minimize, Direction::Minimize];
+        let twice =
+            normalize_directions(&normalize_directions(&data, &dirs).unwrap(), &dirs).unwrap();
+        assert_eq!(twice, data);
+    }
+
+    #[test]
+    fn missing_cells_stay_missing() {
+        let mut data = ds(vec![vec![3, 7]]);
+        data.set(ObjectId(0), AttrId(0), None).unwrap();
+        let norm = normalize_directions(&data, &[Direction::Minimize, Direction::Minimize]).unwrap();
+        assert_eq!(norm.get(ObjectId(0), AttrId(0)), None);
+        assert_eq!(norm.get(ObjectId(0), AttrId(1)), Some(2));
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let data = ds(vec![vec![1, 2]]);
+        assert!(normalize_directions(&data, &[Direction::Maximize]).is_err());
+    }
+
+    #[test]
+    fn all_maximize_is_identity() {
+        let data = ds(vec![vec![1, 2], vec![3, 4]]);
+        let norm =
+            normalize_directions(&data, &[Direction::Maximize, Direction::Maximize]).unwrap();
+        assert_eq!(norm, data);
+    }
+}

@@ -1,0 +1,452 @@
+//! The adaptive DPLL solver (Algorithm 3).
+//!
+//! ADPLL computes `Pr(φ)` exactly. It first splits the CNF into
+//! variable-disjoint components (the generalization of Algorithm 3's
+//! "conjuncts are independent" check): component probabilities multiply by
+//! the *special conjunctive rule*. A component that is a single clause with
+//! variable-disjoint expressions is closed directly by the *general
+//! disjunctive rule* `Pr(∨ eⱼ) = 1 − Π (1 − Pr(eⱼ))`. Otherwise the solver
+//! branches on a variable (by default the most frequent one, the paper's
+//! heuristic), summing `p(v = a) · Pr(φ[v := a])` over the variable's
+//! support — weakening the expression correlation at every level exactly as
+//! the paper describes.
+
+use crate::dists::VarDists;
+use crate::{Solver, SolverError};
+use bc_ctable::{Clause, Condition};
+use bc_data::VarId;
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
+
+/// Which variable to branch on when a component is correlated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BranchHeuristic {
+    /// The paper's choice: the variable occurring in the most expressions
+    /// (ties break toward the smallest variable id, deterministically).
+    #[default]
+    MostFrequent,
+    /// The first (smallest-id) variable — the ablation baseline showing the
+    /// value of the frequency heuristic.
+    First,
+}
+
+/// Counters describing one solve.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Number of value-branching steps taken.
+    pub branches: u64,
+    /// Number of independent components closed directly.
+    pub direct_components: u64,
+    /// Number of component probabilities served from the cache.
+    pub cache_hits: u64,
+}
+
+/// The adaptive DPLL solver.
+///
+/// ```
+/// use bc_bayes::Pmf;
+/// use bc_ctable::{Condition, Expr};
+/// use bc_data::VarId;
+/// use bc_solver::{AdpllSolver, Solver, VarDists};
+///
+/// // φ = (x < 2) ∧ (y > 4), x and y uniform over 0..10.
+/// let x = VarId::new(0, 0);
+/// let y = VarId::new(1, 0);
+/// let cond = Condition::from_clauses(vec![
+///     vec![Expr::lt(x, 2)],
+///     vec![Expr::gt(y, 4)],
+/// ]);
+/// let dists: VarDists = [(x, Pmf::uniform(10)), (y, Pmf::uniform(10))]
+///     .into_iter()
+///     .collect();
+/// let p = AdpllSolver::new().probability(&cond, &dists).unwrap();
+/// assert!((p - 0.2 * 0.5).abs() < 1e-12);
+/// ```
+///
+/// By default the solver memoizes component probabilities *within one
+/// `probability` call* (component/formula caching in the style of Sang,
+/// Beame & Kautz — reference \[32\] of the paper). Sibling branches whose
+/// substitutions collapse to the same residual component are then solved
+/// once. Caching is sound per call because the distributions are fixed for
+/// its duration; it is cleared between calls.
+#[derive(Clone, Debug)]
+pub struct AdpllSolver {
+    heuristic: BranchHeuristic,
+    caching: bool,
+    branches: Cell<u64>,
+    direct: Cell<u64>,
+    cache_hits: Cell<u64>,
+}
+
+impl Default for AdpllSolver {
+    fn default() -> Self {
+        AdpllSolver {
+            heuristic: BranchHeuristic::default(),
+            caching: true,
+            branches: Cell::new(0),
+            direct: Cell::new(0),
+            cache_hits: Cell::new(0),
+        }
+    }
+}
+
+impl AdpllSolver {
+    /// A solver with the paper's most-frequent-variable heuristic and
+    /// component caching enabled.
+    pub fn new() -> AdpllSolver {
+        AdpllSolver::default()
+    }
+
+    /// A solver with an explicit branching heuristic (for the ablation).
+    pub fn with_heuristic(heuristic: BranchHeuristic) -> AdpllSolver {
+        AdpllSolver {
+            heuristic,
+            ..Default::default()
+        }
+    }
+
+    /// Enables or disables per-call component caching (the ablation knob).
+    pub fn with_caching(mut self, caching: bool) -> AdpllSolver {
+        self.caching = caching;
+        self
+    }
+
+    /// Statistics accumulated since construction (or the last reset).
+    pub fn stats(&self) -> SolveStats {
+        SolveStats {
+            branches: self.branches.get(),
+            direct_components: self.direct.get(),
+            cache_hits: self.cache_hits.get(),
+        }
+    }
+
+    /// Clears the counters.
+    pub fn reset_stats(&self) {
+        self.branches.set(0);
+        self.direct.set(0);
+        self.cache_hits.set(0);
+    }
+
+    fn clause_probability(&self, clause: &Clause, dists: &VarDists) -> Result<f64, SolverError> {
+        // Within-clause expressions are variable-disjoint by construction;
+        // verify and fall back to local branching if a manually built clause
+        // violates it.
+        let mut seen: Vec<VarId> = Vec::with_capacity(clause.len() * 2);
+        let mut disjoint = true;
+        'outer: for e in clause.exprs() {
+            for v in e.vars() {
+                if seen.contains(&v) {
+                    disjoint = false;
+                    break 'outer;
+                }
+                seen.push(v);
+            }
+        }
+        if disjoint {
+            // General disjunctive rule (clamped: pmf normalization can
+            // leave 1e-16-scale slack in the complement products).
+            let mut none = 1.0;
+            for e in clause.exprs() {
+                none *= (1.0 - dists.expr_prob(e)?).clamp(0.0, 1.0);
+            }
+            Ok((1.0 - none).clamp(0.0, 1.0))
+        } else {
+            // Shared variables inside one clause: treat it as a one-clause
+            // condition and branch.
+            let cond = Condition::from_clauses(vec![clause.exprs().to_vec()]);
+            let mut cache = HashMap::new();
+            self.branch(&cond, dists, &mut cache)
+        }
+    }
+
+    fn pick_branch_var(&self, cond: &Condition) -> Option<VarId> {
+        match self.heuristic {
+            BranchHeuristic::MostFrequent => cond.most_frequent_var(),
+            BranchHeuristic::First => cond.vars().into_iter().next(),
+        }
+    }
+
+    fn branch(
+        &self,
+        cond: &Condition,
+        dists: &VarDists,
+        cache: &mut HashMap<Condition, f64>,
+    ) -> Result<f64, SolverError> {
+        let v = self
+            .pick_branch_var(cond)
+            .expect("branch() is only called on undecided conditions");
+        let pmf = dists.pmf(v)?.clone();
+        let mut total = 0.0;
+        for value in pmf.support() {
+            self.branches.set(self.branches.get() + 1);
+            let sub = cond.substitute(v, value);
+            total += pmf.p(value) * self.solve(&sub, dists, cache)?;
+        }
+        Ok(total.clamp(0.0, 1.0))
+    }
+
+    fn solve(
+        &self,
+        cond: &Condition,
+        dists: &VarDists,
+        cache: &mut HashMap<Condition, f64>,
+    ) -> Result<f64, SolverError> {
+        let clauses = match cond {
+            Condition::True => return Ok(1.0),
+            Condition::False => return Ok(0.0),
+            Condition::Cnf(clauses) => clauses,
+        };
+
+        // Split clauses into variable-connected components.
+        let components = connected_components(clauses);
+        let mut total = 1.0;
+        for comp in components {
+            let p = if comp.len() == 1 {
+                self.direct.set(self.direct.get() + 1);
+                self.clause_probability(comp[0], dists)?
+            } else {
+                let cond =
+                    Condition::from_clauses(comp.iter().map(|c| c.exprs().to_vec()));
+                match &cond {
+                    Condition::True => 1.0,
+                    Condition::False => 0.0,
+                    Condition::Cnf(_) => {
+                        if self.caching {
+                            if let Some(&hit) = cache.get(&cond) {
+                                self.cache_hits.set(self.cache_hits.get() + 1);
+                                hit
+                            } else {
+                                let p = self.branch(&cond, dists, cache)?;
+                                cache.insert(cond, p);
+                                p
+                            }
+                        } else {
+                            self.branch(&cond, dists, cache)?
+                        }
+                    }
+                }
+            };
+            total *= p;
+            if total == 0.0 {
+                break;
+            }
+        }
+        Ok(total.clamp(0.0, 1.0))
+    }
+}
+
+/// Groups clauses into variable-connected components.
+fn connected_components(clauses: &[Clause]) -> Vec<Vec<&Clause>> {
+    let n = clauses.len();
+    // Union-find over clause indices.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut owner: BTreeMap<VarId, usize> = BTreeMap::new();
+    for (i, clause) in clauses.iter().enumerate() {
+        for e in clause.exprs() {
+            for v in e.vars() {
+                match owner.get(&v) {
+                    Some(&j) => {
+                        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                        if ri != rj {
+                            parent[ri] = rj;
+                        }
+                    }
+                    None => {
+                        owner.insert(v, i);
+                    }
+                }
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<&Clause>> = BTreeMap::new();
+    for (i, clause) in clauses.iter().enumerate() {
+        groups.entry(find(&mut parent, i)).or_default().push(clause);
+    }
+    groups.into_values().collect()
+}
+
+impl Solver for AdpllSolver {
+    fn probability(&self, cond: &Condition, dists: &VarDists) -> Result<f64, SolverError> {
+        let mut cache = HashMap::new();
+        self.solve(cond, dists, &mut cache)
+    }
+
+    fn name(&self) -> &'static str {
+        "ADPLL"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_bayes::Pmf;
+    use bc_ctable::Expr;
+
+    fn v(o: u32, a: u16) -> VarId {
+        VarId::new(o, a)
+    }
+
+    #[test]
+    fn trivial_conditions() {
+        let s = AdpllSolver::new();
+        let d = VarDists::default();
+        assert_eq!(s.probability(&Condition::True, &d).unwrap(), 1.0);
+        assert_eq!(s.probability(&Condition::False, &d).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn independent_clauses_use_the_product_rule() {
+        // (x < 2) ∧ (y < 5), x,y uniform over 10 → 0.2 * 0.5.
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::lt(v(0, 0), 2)],
+            vec![Expr::lt(v(1, 0), 5)],
+        ]);
+        let d: VarDists = [(v(0, 0), Pmf::uniform(10)), (v(1, 0), Pmf::uniform(10))]
+            .into_iter()
+            .collect();
+        let s = AdpllSolver::new();
+        let p = s.probability(&cond, &d).unwrap();
+        assert!((p - 0.1).abs() < 1e-12);
+        // No branching should have happened.
+        assert_eq!(s.stats().branches, 0);
+        assert_eq!(s.stats().direct_components, 2);
+    }
+
+    #[test]
+    fn disjunctive_rule_within_a_clause() {
+        // (x < 2 ∨ y < 5) → 1 - 0.8*0.5 = 0.6.
+        let cond = Condition::from_clauses(vec![vec![
+            Expr::lt(v(0, 0), 2),
+            Expr::lt(v(1, 0), 5),
+        ]]);
+        let d: VarDists = [(v(0, 0), Pmf::uniform(10)), (v(1, 0), Pmf::uniform(10))]
+            .into_iter()
+            .collect();
+        let p = AdpllSolver::new().probability(&cond, &d).unwrap();
+        assert!((p - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlated_clauses_branch_correctly() {
+        // (x < 2) ∧ (x > 0 ∨ y < 5) with x,y uniform over 4.
+        // Exact: P(x=1)·1 + P(x=0)·P(y<5=1)… compute by hand:
+        // x<2 → x ∈ {0,1}. If x=1: second clause true (x>0). If x=0: second
+        // clause iff y<5 (always true for card 4). So P = P(x<2) = 0.5.
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::lt(v(0, 0), 2)],
+            vec![Expr::gt(v(0, 0), 0), Expr::lt(v(1, 0), 5)],
+        ]);
+        let d: VarDists = [(v(0, 0), Pmf::uniform(4)), (v(1, 0), Pmf::uniform(4))]
+            .into_iter()
+            .collect();
+        let s = AdpllSolver::new();
+        let p = s.probability(&cond, &d).unwrap();
+        assert!((p - 0.5).abs() < 1e-12, "got {p}");
+        assert!(s.stats().branches > 0);
+    }
+
+    #[test]
+    fn narrower_y_matters() {
+        // Same shape but y uniform over 8 and clause needs y < 2:
+        // P = P(x=1) + P(x=0)·P(y<2) = 0.25 + 0.25·0.25 = 0.3125.
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::lt(v(0, 0), 2)],
+            vec![Expr::gt(v(0, 0), 0), Expr::lt(v(1, 0), 2)],
+        ]);
+        let d: VarDists = [(v(0, 0), Pmf::uniform(4)), (v(1, 0), Pmf::uniform(8))]
+            .into_iter()
+            .collect();
+        let p = AdpllSolver::new().probability(&cond, &d).unwrap();
+        assert!((p - 0.3125).abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn heuristics_agree_on_probability() {
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::gt(v(0, 0), 2), Expr::gt(v(0, 1), 3)],
+            vec![Expr::var_gt(v(0, 0), v(1, 0)), Expr::gt(v(0, 1), 2)],
+        ]);
+        let d: VarDists = [
+            (v(0, 0), Pmf::uniform(10)),
+            (v(0, 1), Pmf::uniform(8)),
+            (v(1, 0), Pmf::uniform(10)),
+        ]
+        .into_iter()
+        .collect();
+        let a = AdpllSolver::with_heuristic(BranchHeuristic::MostFrequent)
+            .probability(&cond, &d)
+            .unwrap();
+        let b = AdpllSolver::with_heuristic(BranchHeuristic::First)
+            .probability(&cond, &d)
+            .unwrap();
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caching_does_not_change_results_and_saves_branches() {
+        // A condition whose branches collapse to repeated residuals: the
+        // cached solver must agree with the uncached one and record hits.
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::lt(v(0, 0), 5), Expr::lt(v(1, 0), 3)],
+            vec![Expr::gt(v(0, 0), 1), Expr::gt(v(2, 0), 6)],
+            vec![Expr::lt(v(0, 0), 8), Expr::gt(v(1, 0), 1), Expr::lt(v(2, 0), 9)],
+        ]);
+        let d: VarDists = (0..3).map(|o| (v(o, 0), Pmf::uniform(10))).collect();
+        let cached = AdpllSolver::new();
+        let uncached = AdpllSolver::new().with_caching(false);
+        let a = cached.probability(&cond, &d).unwrap();
+        let b = uncached.probability(&cond, &d).unwrap();
+        assert!((a - b).abs() < 1e-12);
+        assert!(cached.stats().cache_hits > 0, "expected cache hits");
+        assert!(
+            cached.stats().branches < uncached.stats().branches,
+            "caching should prune branches: {} vs {}",
+            cached.stats().branches,
+            uncached.stats().branches
+        );
+    }
+
+    #[test]
+    fn cache_is_per_call() {
+        // Two calls with different distributions must not contaminate each
+        // other even though the conditions are identical.
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::lt(v(0, 0), 2)],
+            vec![Expr::gt(v(0, 0), 0), Expr::lt(v(1, 0), 2)],
+        ]);
+        let s = AdpllSolver::new();
+        let d1: VarDists = [(v(0, 0), Pmf::uniform(4)), (v(1, 0), Pmf::uniform(4))]
+            .into_iter()
+            .collect();
+        let d2: VarDists = [
+            (v(0, 0), Pmf::uniform(4)),
+            (v(1, 0), Pmf::delta(4, 3)),
+        ]
+        .into_iter()
+        .collect();
+        let p1 = s.probability(&cond, &d1).unwrap();
+        let p2 = s.probability(&cond, &d2).unwrap();
+        // P(x<2)·[P(x=1)/P(x<2) + P(x=0)/P(x<2)·P(y<2)] = .25 + .25·.5.
+        assert!((p1 - 0.375).abs() < 1e-12, "got {p1}");
+        // With y pinned to 3, the clause (x>0 ∨ y<2) needs x>0:
+        // P = P(x=1) = 0.25.
+        assert!((p2 - 0.25).abs() < 1e-12, "got {p2}");
+    }
+
+    #[test]
+    fn missing_distribution_propagates() {
+        let cond = Condition::from_clauses(vec![vec![Expr::lt(v(7, 7), 1)]]);
+        let d = VarDists::default();
+        assert!(matches!(
+            AdpllSolver::new().probability(&cond, &d),
+            Err(SolverError::MissingDistribution(_))
+        ));
+    }
+}

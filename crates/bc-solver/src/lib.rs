@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+//! Probability computation for c-table conditions.
+//!
+//! The probability that a condition `φ(o)` holds — i.e. that object `o` is a
+//! skyline answer — is a weighted model-counting problem, at least as hard
+//! as #SAT (Section 5 of the paper). This crate provides:
+//!
+//! * [`AdpllSolver`] — the paper's adaptive DPLL (Algorithm 3): splits the
+//!   CNF into variable-disjoint components, applies the special conjunctive
+//!   rule and the general disjunctive rule on independent parts, and
+//!   branches on the most frequent variable otherwise,
+//! * [`NaiveSolver`] — brute-force enumeration of all variable assignments,
+//! * [`ApproxCountSolver`] — the generalized weighted ApproxCount the paper
+//!   compares against (and finds inferior),
+//! * [`MonteCarloSolver`] — a plain sampling estimator,
+//! * [`VarDists`] — per-variable value distributions (from the Bayesian
+//!   network) with expression-probability helpers, and
+//! * [`utility`] — the marginal-utility function `G(o, e)` (Definition 6).
+
+pub mod adpll;
+pub mod approxcount;
+pub mod dists;
+pub mod montecarlo;
+pub mod naive;
+pub mod utility;
+
+pub use adpll::{AdpllSolver, BranchHeuristic, SolveStats};
+pub use approxcount::ApproxCountSolver;
+pub use dists::VarDists;
+pub use montecarlo::MonteCarloSolver;
+pub use naive::NaiveSolver;
+
+use bc_ctable::Condition;
+use std::fmt;
+
+/// Errors raised by probability computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolverError {
+    /// A variable in the condition has no distribution.
+    MissingDistribution(bc_data::VarId),
+    /// The naive enumerator would visit more states than allowed.
+    StateSpaceTooLarge {
+        /// States the enumeration would need.
+        states: u128,
+        /// The configured cap.
+        limit: u128,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::MissingDistribution(v) => {
+                write!(f, "no distribution for variable {v}")
+            }
+            SolverError::StateSpaceTooLarge { states, limit } => {
+                write!(f, "enumeration needs {states} states (limit {limit})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// A probability solver for c-table conditions.
+pub trait Solver {
+    /// `Pr(φ)` under the given per-variable distributions.
+    fn probability(&self, cond: &Condition, dists: &VarDists) -> Result<f64, SolverError>;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,122 @@
+//! Monte-Carlo probability estimation.
+//!
+//! Stands in for the generalized weighted ApproxCount the paper evaluates
+//! (and finds inferior to ADPLL): sample each variable from its
+//! distribution, evaluate the condition, and average.
+
+use crate::dists::VarDists;
+use crate::{Solver, SolverError};
+use bc_ctable::Condition;
+use bc_data::{Value, VarId};
+use rand::SeedableRng;
+
+/// Sampling estimator of `Pr(φ)`.
+#[derive(Clone, Debug)]
+pub struct MonteCarloSolver {
+    /// Number of sampled assignments.
+    pub samples: u32,
+    /// RNG seed (each call re-seeds, keeping the estimator deterministic).
+    pub seed: u64,
+}
+
+impl Default for MonteCarloSolver {
+    fn default() -> Self {
+        MonteCarloSolver {
+            samples: 10_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl MonteCarloSolver {
+    /// An estimator with explicit sample count and seed.
+    pub fn new(samples: u32, seed: u64) -> MonteCarloSolver {
+        MonteCarloSolver { samples, seed }
+    }
+}
+
+impl Solver for MonteCarloSolver {
+    fn probability(&self, cond: &Condition, dists: &VarDists) -> Result<f64, SolverError> {
+        match cond {
+            Condition::True => return Ok(1.0),
+            Condition::False => return Ok(0.0),
+            Condition::Cnf(_) => {}
+        }
+        let vars: Vec<VarId> = cond.vars().into_iter().collect();
+        let pmfs = vars
+            .iter()
+            .map(|&v| dists.pmf(v).cloned())
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let mut hits = 0u64;
+        let mut assignment: Vec<Value> = vec![0; vars.len()];
+        for _ in 0..self.samples {
+            for (slot, pmf) in assignment.iter_mut().zip(&pmfs) {
+                *slot = pmf.sample(&mut rng);
+            }
+            let lookup = |q: VarId| {
+                let i = vars.binary_search(&q).expect("all vars collected");
+                assignment[i]
+            };
+            if cond.eval(lookup) {
+                hits += 1;
+            }
+        }
+        Ok(hits as f64 / self.samples as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "MonteCarlo"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveSolver;
+    use bc_bayes::Pmf;
+    use bc_ctable::Expr;
+
+    fn v(o: u32, a: u16) -> VarId {
+        VarId::new(o, a)
+    }
+
+    #[test]
+    fn converges_to_the_exact_answer() {
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::gt(v(0, 0), 2), Expr::gt(v(0, 1), 3)],
+            vec![Expr::var_gt(v(0, 0), v(1, 0)), Expr::gt(v(0, 1), 2)],
+        ]);
+        let d: VarDists = [
+            (v(0, 0), Pmf::uniform(10)),
+            (v(0, 1), Pmf::uniform(8)),
+            (v(1, 0), Pmf::uniform(10)),
+        ]
+        .into_iter()
+        .collect();
+        let exact = NaiveSolver::new().probability(&cond, &d).unwrap();
+        let est = MonteCarloSolver::new(50_000, 1)
+            .probability(&cond, &d)
+            .unwrap();
+        assert!((exact - est).abs() < 0.01, "{exact} vs {est}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cond = Condition::from_clauses(vec![vec![Expr::lt(v(0, 0), 3)]]);
+        let d: VarDists = [(v(0, 0), Pmf::uniform(10))].into_iter().collect();
+        let s = MonteCarloSolver::new(1000, 42);
+        let a = s.probability(&cond, &d).unwrap();
+        let b = s.probability(&cond, &d).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trivial_conditions_short_circuit() {
+        let s = MonteCarloSolver::default();
+        let d = VarDists::default();
+        assert_eq!(s.probability(&Condition::True, &d).unwrap(), 1.0);
+        assert_eq!(s.probability(&Condition::False, &d).unwrap(), 0.0);
+    }
+}

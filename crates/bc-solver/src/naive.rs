@@ -1,0 +1,170 @@
+//! The brute-force baseline: enumerate every assignment of the variables in
+//! the condition and aggregate the probabilities of the satisfying ones
+//! (Section 5's "Naive" method, complexity `O(N^(d·|D|))`).
+
+use crate::dists::VarDists;
+use crate::{Solver, SolverError};
+use bc_ctable::Condition;
+use bc_data::{Value, VarId};
+
+/// The naive enumerator. Guards against state-space explosion via a
+/// configurable cap.
+#[derive(Clone, Debug)]
+pub struct NaiveSolver {
+    /// Maximum number of assignments to enumerate.
+    pub max_states: u128,
+}
+
+impl Default for NaiveSolver {
+    fn default() -> Self {
+        NaiveSolver {
+            max_states: 200_000_000,
+        }
+    }
+}
+
+impl NaiveSolver {
+    /// A solver with the default state cap.
+    pub fn new() -> NaiveSolver {
+        NaiveSolver::default()
+    }
+
+    /// A solver with an explicit state cap.
+    pub fn with_limit(max_states: u128) -> NaiveSolver {
+        NaiveSolver { max_states }
+    }
+}
+
+impl Solver for NaiveSolver {
+    fn probability(&self, cond: &Condition, dists: &VarDists) -> Result<f64, SolverError> {
+        let clauses = match cond {
+            Condition::True => return Ok(1.0),
+            Condition::False => return Ok(0.0),
+            Condition::Cnf(_) => cond,
+        };
+
+        let vars: Vec<VarId> = clauses.vars().into_iter().collect();
+        // Enumerate over each variable's support only.
+        let supports: Vec<Vec<Value>> = vars
+            .iter()
+            .map(|&v| Ok(dists.pmf(v)?.support().collect()))
+            .collect::<Result<_, SolverError>>()?;
+
+        let states = supports
+            .iter()
+            .fold(1u128, |acc, s| acc.saturating_mul(s.len() as u128));
+        if states > self.max_states {
+            return Err(SolverError::StateSpaceTooLarge {
+                states,
+                limit: self.max_states,
+            });
+        }
+
+        let mut assignment: Vec<Value> = supports.iter().map(|s| s[0]).collect();
+        let mut indices = vec![0usize; vars.len()];
+        let mut total = 0.0;
+        loop {
+            // Weight of this assignment.
+            let mut weight = 1.0;
+            for (i, &v) in vars.iter().enumerate() {
+                weight *= dists.pmf(v)?.p(assignment[i]);
+            }
+            if weight > 0.0 {
+                let lookup = |q: VarId| {
+                    let i = vars.binary_search(&q).expect("all vars collected");
+                    assignment[i]
+                };
+                if clauses.eval(lookup) {
+                    total += weight;
+                }
+            }
+            // Odometer increment.
+            let mut k = vars.len();
+            loop {
+                if k == 0 {
+                    return Ok(total.clamp(0.0, 1.0));
+                }
+                k -= 1;
+                indices[k] += 1;
+                if indices[k] < supports[k].len() {
+                    assignment[k] = supports[k][indices[k]];
+                    break;
+                }
+                indices[k] = 0;
+                assignment[k] = supports[k][0];
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adpll::AdpllSolver;
+    use bc_bayes::Pmf;
+    use bc_ctable::Expr;
+
+    fn v(o: u32, a: u16) -> VarId {
+        VarId::new(o, a)
+    }
+
+    #[test]
+    fn matches_closed_forms() {
+        let cond = Condition::from_clauses(vec![vec![
+            Expr::lt(v(0, 0), 2),
+            Expr::lt(v(1, 0), 5),
+        ]]);
+        let d: VarDists = [(v(0, 0), Pmf::uniform(10)), (v(1, 0), Pmf::uniform(10))]
+            .into_iter()
+            .collect();
+        let p = NaiveSolver::new().probability(&cond, &d).unwrap();
+        assert!((p - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn agrees_with_adpll_on_correlated_conditions() {
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::gt(v(0, 0), 2), Expr::gt(v(0, 1), 3)],
+            vec![Expr::var_gt(v(0, 0), v(1, 0)), Expr::gt(v(0, 1), 2)],
+        ]);
+        let d: VarDists = [
+            (v(0, 0), Pmf::uniform(10)),
+            (v(0, 1), Pmf::uniform(8)),
+            (v(1, 0), Pmf::from_weights(vec![1.0, 2.0, 3.0, 2.0, 1.0, 1.0])),
+        ]
+        .into_iter()
+        .collect();
+        let naive = NaiveSolver::new().probability(&cond, &d).unwrap();
+        let adpll = AdpllSolver::new().probability(&cond, &d).unwrap();
+        assert!((naive - adpll).abs() < 1e-9, "{naive} vs {adpll}");
+    }
+
+    #[test]
+    fn state_cap_is_enforced() {
+        let cond = Condition::from_clauses(vec![vec![
+            Expr::lt(v(0, 0), 2),
+            Expr::lt(v(1, 0), 2),
+            Expr::lt(v(2, 0), 2),
+        ]]);
+        let d: VarDists = (0..3).map(|o| (v(o, 0), Pmf::uniform(10))).collect();
+        let s = NaiveSolver::with_limit(100);
+        assert!(matches!(
+            s.probability(&cond, &d),
+            Err(SolverError::StateSpaceTooLarge { states: 1000, .. })
+        ));
+    }
+
+    #[test]
+    fn respects_truncated_supports() {
+        // After crowd answers, supports shrink; enumeration must follow.
+        let pmf = Pmf::uniform(10).conditioned(0b11).unwrap(); // {0, 1}
+        let cond = Condition::from_clauses(vec![vec![Expr::lt(v(0, 0), 2)]]);
+        let d: VarDists = [(v(0, 0), pmf)].into_iter().collect();
+        let p = NaiveSolver::new().probability(&cond, &d).unwrap();
+        assert!((p - 1.0).abs() < 1e-12);
+    }
+}

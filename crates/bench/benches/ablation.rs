@@ -1,0 +1,106 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * ADPLL's most-frequent-variable branching vs naive first-variable
+//!   branching,
+//! * Bayesian-network conditionals vs uniform priors,
+//! * conflict-free batching on/off,
+//! * crowd-answer constraint propagation on/off.
+
+use bayescrowd::{BayesCrowdConfig, TaskStrategy};
+use bc_bayes::{MissingValueModel, ModelConfig};
+use bc_bench::experiments::run_bayescrowd;
+use bc_bench::Workload;
+use bc_ctable::{build_ctable, CTableConfig, DominatorStrategy};
+use bc_solver::{AdpllSolver, BranchHeuristic, Solver, VarDists};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_branch_heuristic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_branch_heuristic");
+    group.sample_size(10);
+    let w = Workload::nba(600, 0.15, 42);
+    let ct = build_ctable(
+        &w.incomplete,
+        &CTableConfig {
+            alpha: 0.01,
+            strategy: DominatorStrategy::FastIndex,
+        },
+    );
+    let model = MissingValueModel::learn(&w.incomplete, &ModelConfig::default());
+    let dists: VarDists = model.pmfs().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let open = ct.open_objects();
+
+    for (name, heuristic, caching) in [
+        ("most_frequent", BranchHeuristic::MostFrequent, true),
+        ("most_frequent_nocache", BranchHeuristic::MostFrequent, false),
+        ("first_var", BranchHeuristic::First, true),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, open.len()), &open, |b, open| {
+            b.iter(|| {
+                let solver = AdpllSolver::with_heuristic(heuristic).with_caching(caching);
+                let mut total = 0.0;
+                for &o in open.iter() {
+                    total += solver
+                        .probability(ct.condition(o), &dists)
+                        .expect("ADPLL always succeeds");
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_framework_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_framework");
+    group.sample_size(10);
+    let w = Workload::nba(400, 0.1, 42);
+    let base = BayesCrowdConfig {
+        budget: 30,
+        strategy: TaskStrategy::Hhs { m: 15 },
+        ..BayesCrowdConfig::nba_defaults()
+    };
+
+    let variants: Vec<(&str, BayesCrowdConfig)> = vec![
+        ("default", base.clone()),
+        (
+            "uniform_prior",
+            BayesCrowdConfig {
+                model: ModelConfig {
+                    uniform_prior: true,
+                    ..ModelConfig::default()
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "no_conflict_avoidance",
+            BayesCrowdConfig {
+                conflict_free: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no_propagation",
+            BayesCrowdConfig {
+                propagate_answers: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "random_object_ranking",
+            BayesCrowdConfig {
+                ranking: bayescrowd::ObjectRanking::Random { seed: 1 },
+                ..base.clone()
+            },
+        ),
+    ];
+    for (name, config) in variants {
+        group.bench_with_input(BenchmarkId::new(name, 400), &w, |b, w| {
+            b.iter(|| run_bayescrowd(w, &config, 1.0, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_branch_heuristic, bench_framework_ablations);
+criterion_main!(benches);

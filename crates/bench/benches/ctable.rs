@@ -1,0 +1,49 @@
+//! Criterion bench for Figure 2: c-table construction, Get-CTable (sorted
+//! bitset index) vs the pairwise Baseline, across missing rates and sizes.
+
+use bc_bench::Workload;
+use bc_ctable::{build_ctable, CTableConfig, DominatorStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ctable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ctable_construction");
+    group.sample_size(10);
+
+    for rate in [0.05, 0.1, 0.2] {
+        let w = Workload::nba(800, rate, 42);
+        for (name, strategy) in [
+            ("get_ctable", DominatorStrategy::FastIndex),
+            ("baseline", DominatorStrategy::Baseline),
+        ] {
+            let cfg = CTableConfig {
+                alpha: 0.01,
+                strategy,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("rate_{rate}")),
+                &w,
+                |b, w| b.iter(|| build_ctable(&w.incomplete, &cfg)),
+            );
+        }
+    }
+
+    for n in [250usize, 500, 1000] {
+        let w = Workload::nba(n, 0.1, 42);
+        for (name, strategy) in [
+            ("get_ctable", DominatorStrategy::FastIndex),
+            ("baseline", DominatorStrategy::Baseline),
+        ] {
+            let cfg = CTableConfig {
+                alpha: 0.01,
+                strategy,
+            };
+            group.bench_with_input(BenchmarkId::new(name, format!("n_{n}")), &w, |b, w| {
+                b.iter(|| build_ctable(&w.incomplete, &cfg))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ctable);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! End-to-end Criterion bench: full BayesCrowd runs per strategy, and the
+//! CrowdSky baseline, on small instances of the paper's workloads.
+
+use bayescrowd::{BayesCrowdConfig, TaskStrategy};
+use bc_bench::experiments::run_bayescrowd;
+use bc_bench::Workload;
+use bc_crowd::{GroundTruthOracle, SimulatedPlatform};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdsky::{CrowdSky, CrowdSkyConfig};
+
+fn bench_bayescrowd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bayescrowd_end2end");
+    group.sample_size(10);
+    let w = Workload::nba(400, 0.1, 42);
+    for (name, strategy) in [
+        ("fbs", TaskStrategy::Fbs),
+        ("ubs", TaskStrategy::Ubs),
+        ("hhs", TaskStrategy::Hhs { m: 15 }),
+    ] {
+        let config = BayesCrowdConfig {
+            budget: 30,
+            strategy,
+            ..BayesCrowdConfig::nba_defaults()
+        };
+        group.bench_with_input(BenchmarkId::new("nba", name), &w, |b, w| {
+            b.iter(|| run_bayescrowd(w, &config, 1.0, 7))
+        });
+    }
+    group.finish();
+}
+
+fn bench_crowdsky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crowdsky_end2end");
+    group.sample_size(10);
+    let w = Workload::nba_masked(400, 42);
+    group.bench_with_input(BenchmarkId::new("nba_masked", 400), &w, |b, w| {
+        b.iter(|| {
+            let oracle = GroundTruthOracle::new(w.complete.clone());
+            let mut platform = SimulatedPlatform::new(oracle, 1.0, 7);
+            CrowdSky::new(CrowdSkyConfig { round_size: 20 }).run(&w.incomplete, &mut platform)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bayescrowd, bench_crowdsky);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench for Figure 3: probability computation over the open
+//! conditions of an initial c-table — ADPLL vs Naive vs Monte-Carlo.
+
+use bc_bayes::{MissingValueModel, ModelConfig};
+use bc_bench::Workload;
+use bc_ctable::{build_ctable, CTable, CTableConfig, DominatorStrategy};
+use bc_solver::{AdpllSolver, ApproxCountSolver, MonteCarloSolver, NaiveSolver, Solver, VarDists};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn setup(rate: f64) -> (CTable, VarDists, Vec<bc_data::ObjectId>) {
+    let w = Workload::nba(600, rate, 42);
+    let ct = build_ctable(
+        &w.incomplete,
+        &CTableConfig {
+            alpha: 0.01,
+            strategy: DominatorStrategy::FastIndex,
+        },
+    );
+    let model = MissingValueModel::learn(&w.incomplete, &ModelConfig::default());
+    let dists: VarDists = model.pmfs().iter().map(|(k, v)| (*k, v.clone())).collect();
+    let open = ct.open_objects();
+    (ct, dists, open)
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probability_computation");
+    group.sample_size(10);
+
+    for rate in [0.05, 0.1, 0.15] {
+        let (ct, dists, open) = setup(rate);
+        let solvers: Vec<(&str, Box<dyn Solver>)> = vec![
+            ("adpll", Box::new(AdpllSolver::new())),
+            ("adpll_nocache", Box::new(AdpllSolver::new().with_caching(false))),
+            ("naive", Box::new(NaiveSolver::with_limit(5_000_000))),
+            ("approxcount", Box::new(ApproxCountSolver::new(1_000, 7))),
+            ("montecarlo", Box::new(MonteCarloSolver::new(2_000, 7))),
+        ];
+        for (name, solver) in solvers {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("rate_{rate}")),
+                &(&ct, &dists, &open),
+                |b, (ct, dists, open)| {
+                    b.iter(|| {
+                        let mut total = 0.0;
+                        for &o in open.iter() {
+                            total += solver.probability(ct.condition(o), dists).unwrap_or(0.5);
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

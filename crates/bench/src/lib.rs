@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (Section 7).
+//!
+//! * [`workloads`] — the two experimental datasets (NBA-like and the
+//!   Adult-BN Synthetic) at configurable scale, with MCAR or
+//!   attribute-masking missing-value injection,
+//! * [`rows`] — a tiny result-table model with text and JSON output,
+//! * [`experiments`] — one function per paper figure/table (`fig2` …
+//!   `fig11`, `table6`), each returning the series the paper plots, and
+//! * the `figures` binary — the command-line entry point
+//!   (`cargo run --release -p bc-bench --bin figures -- all`).
+
+pub mod experiments;
+pub mod rows;
+pub mod workloads;
+
+pub use rows::{print_rows, Row};
+pub use workloads::{Scale, Workload};

@@ -1,0 +1,107 @@
+//! A small result-table model shared by every experiment.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One measured point of one series of one experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Row {
+    /// Experiment id (`fig2`, `table6`, …).
+    pub experiment: String,
+    /// Series label (e.g. `NBA/Get-CTable` or `Synthetic/BayesCrowd-HHS`).
+    pub series: String,
+    /// Name of the swept parameter (`missing_rate`, `budget`, …).
+    pub x_name: String,
+    /// Value of the swept parameter.
+    pub x: f64,
+    /// Measured metrics (`time_ms`, `f1`, `tasks`, `rounds`, …).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl Row {
+    /// Builds a row from metric pairs.
+    pub fn new(
+        experiment: &str,
+        series: impl Into<String>,
+        x_name: &str,
+        x: f64,
+        metrics: &[(&str, f64)],
+    ) -> Row {
+        Row {
+            experiment: experiment.into(),
+            series: series.into(),
+            x_name: x_name.into(),
+            x,
+            metrics: metrics
+                .iter()
+                .map(|(k, v)| (k.to_string(), *v))
+                .collect(),
+        }
+    }
+}
+
+/// Pretty-prints rows as one aligned text table per experiment.
+pub fn print_rows(rows: &[Row]) {
+    let mut by_exp: BTreeMap<&str, Vec<&Row>> = BTreeMap::new();
+    for r in rows {
+        by_exp.entry(&r.experiment).or_default().push(r);
+    }
+    for (exp, rows) in by_exp {
+        println!("\n== {exp} ==");
+        // Collect the union of metric names for the header.
+        let mut metric_names: Vec<&str> = Vec::new();
+        for r in &rows {
+            for k in r.metrics.keys() {
+                if !metric_names.contains(&k.as_str()) {
+                    metric_names.push(k);
+                }
+            }
+        }
+        let x_name = rows.first().map(|r| r.x_name.as_str()).unwrap_or("x");
+        print!("{:<34} {:>12}", "series", x_name);
+        for m in &metric_names {
+            print!(" {m:>12}");
+        }
+        println!();
+        for r in &rows {
+            print!("{:<34} {:>12.4}", r.series, r.x);
+            for m in &metric_names {
+                match r.metrics.get(*m) {
+                    Some(v) => print!(" {v:>12.4}"),
+                    None => print!(" {:>12}", "-"),
+                }
+            }
+            println!();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_construction() {
+        let r = Row::new("fig2", "NBA/Get-CTable", "missing_rate", 0.1, &[("time_ms", 12.5)]);
+        assert_eq!(r.metrics["time_ms"], 12.5);
+        assert_eq!(r.experiment, "fig2");
+    }
+
+    #[test]
+    fn rows_serialize_to_json() {
+        let r = Row::new("fig3", "NBA/ADPLL", "missing_rate", 0.05, &[("time_ms", 1.0)]);
+        let s = serde_json::to_string(&r).unwrap();
+        assert!(s.contains("fig3"));
+        let back: Row = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.series, "NBA/ADPLL");
+    }
+
+    #[test]
+    fn print_does_not_panic_on_heterogeneous_metrics() {
+        let rows = vec![
+            Row::new("figX", "a", "x", 1.0, &[("m1", 1.0)]),
+            Row::new("figX", "b", "x", 2.0, &[("m2", 2.0)]),
+        ];
+        print_rows(&rows);
+    }
+}

@@ -1,0 +1,162 @@
+//! Experimental workloads mirroring the paper's two datasets.
+
+use bc_bayes::synthetic::adult_like;
+use bc_data::generators::nba::nba_like;
+use bc_data::missing::{inject_mcar, mask_attributes};
+use bc_data::{AttrId, Dataset};
+use rand::SeedableRng;
+
+/// Experiment scale. The paper runs NBA at 10,000 × 11 and Synthetic at
+/// 100,000 × 9; the default harness scale keeps the same shapes at sizes
+/// that finish in minutes on a laptop.
+#[derive(Clone, Debug)]
+pub struct Scale {
+    /// NBA-like dataset cardinality.
+    pub nba_n: usize,
+    /// Synthetic dataset cardinality.
+    pub syn_n: usize,
+    /// Cardinality sweep of the CrowdSky comparison (Figure 4).
+    pub fig4_cards: Vec<usize>,
+    /// Cardinality sweep of Figure 11.
+    pub fig11_cards: Vec<usize>,
+    /// Default budget on the NBA workload (the paper uses 50).
+    pub nba_budget: usize,
+    /// Pruning threshold α on NBA (the paper uses 0.003 at 10k records;
+    /// smaller scales need a larger α to keep the same absolute
+    /// dominator-set threshold).
+    pub nba_alpha: f64,
+    /// Pruning threshold α on Synthetic (the paper uses 0.01 at 100k).
+    pub syn_alpha: f64,
+    /// Default budget on the Synthetic workload (the paper uses 1000 at
+    /// 100k records; the small scale keeps it proportional).
+    pub syn_budget: usize,
+}
+
+impl Scale {
+    /// Laptop-friendly defaults.
+    pub fn small() -> Scale {
+        Scale {
+            nba_n: 1_200,
+            syn_n: 2_500,
+            fig4_cards: vec![250, 500, 1_000, 2_000],
+            fig11_cards: vec![1_000, 2_000, 4_000, 8_000],
+            nba_budget: 50,
+            syn_budget: 400,
+            nba_alpha: 0.01,
+            syn_alpha: 0.01,
+        }
+    }
+
+    /// The paper's sizes (expect long runtimes, especially the pairwise
+    /// baseline and CrowdSky at 10k+).
+    pub fn paper() -> Scale {
+        Scale {
+            nba_n: 10_000,
+            syn_n: 100_000,
+            fig4_cards: vec![2_000, 4_000, 6_000, 8_000, 10_000],
+            fig11_cards: vec![25_000, 50_000, 75_000, 100_000, 125_000],
+            nba_budget: 50,
+            syn_budget: 1_000,
+            nba_alpha: 0.003,
+            syn_alpha: 0.01,
+        }
+    }
+}
+
+/// A complete dataset plus its incomplete version under some injection.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Display name, e.g. `NBA` or `Synthetic`.
+    pub name: String,
+    /// The hidden complete data (the crowd oracle and ground truth).
+    pub complete: Dataset,
+    /// What the machine sees.
+    pub incomplete: Dataset,
+}
+
+impl Workload {
+    /// The NBA-like workload with MCAR missing values.
+    pub fn nba(n: usize, missing_rate: f64, seed: u64) -> Workload {
+        let complete = nba_like(n, seed);
+        let (incomplete, _) = inject_mcar(&complete, missing_rate, seed.wrapping_add(1));
+        Workload {
+            name: "NBA".into(),
+            complete,
+            incomplete,
+        }
+    }
+
+    /// The Synthetic workload: sampled from the Adult-like Bayesian network,
+    /// with MCAR missing values.
+    pub fn synthetic(n: usize, missing_rate: f64, seed: u64) -> Workload {
+        let bn = adult_like();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let complete = bn
+            .sample_dataset("Synthetic", n, &mut rng)
+            .expect("sampling a valid network always succeeds");
+        let (incomplete, _) = inject_mcar(&complete, missing_rate, seed.wrapping_add(1));
+        Workload {
+            name: "Synthetic".into(),
+            complete,
+            incomplete,
+        }
+    }
+
+    /// The CrowdSky-comparison workload (Section 7.3): NBA with the last two
+    /// attributes entirely missing and the rest complete.
+    pub fn nba_masked(n: usize, seed: u64) -> Workload {
+        let complete = nba_like(n, seed);
+        let d = complete.n_attrs() as u16;
+        let incomplete = mask_attributes(&complete, &[AttrId(d - 2), AttrId(d - 1)]);
+        Workload {
+            name: "NBA-masked".into(),
+            complete,
+            incomplete,
+        }
+    }
+
+    /// Same underlying data at a smaller cardinality.
+    pub fn truncated(&self, n: usize) -> Workload {
+        Workload {
+            name: self.name.clone(),
+            complete: self.complete.truncated(n),
+            incomplete: self.incomplete.truncated(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nba_shape_and_rate() {
+        let w = Workload::nba(300, 0.1, 5);
+        assert_eq!(w.incomplete.n_objects(), 300);
+        assert_eq!(w.incomplete.n_attrs(), 11);
+        assert!((w.incomplete.missing_rate() - 0.1).abs() < 0.01);
+        assert!(w.complete.is_complete());
+    }
+
+    #[test]
+    fn synthetic_shape() {
+        let w = Workload::synthetic(200, 0.15, 5);
+        assert_eq!(w.incomplete.n_attrs(), 9);
+        assert!((w.incomplete.missing_rate() - 0.15).abs() < 0.01);
+    }
+
+    #[test]
+    fn masked_workload_has_two_crowd_attributes() {
+        let w = Workload::nba_masked(100, 5);
+        let (obs, crowd) = crowdsky::layers::split_attributes(&w.incomplete);
+        assert_eq!(obs.len(), 9);
+        assert_eq!(crowd.len(), 2);
+    }
+
+    #[test]
+    fn truncation_is_consistent() {
+        let w = Workload::nba(100, 0.1, 5).truncated(40);
+        assert_eq!(w.complete.n_objects(), 40);
+        assert_eq!(w.incomplete.n_objects(), 40);
+    }
+}

@@ -1,0 +1,169 @@
+//! Framework configuration.
+
+use crate::selection::ObjectRanking;
+use crate::strategy::TaskStrategy;
+use bc_bayes::ModelConfig;
+use bc_ctable::{CTableConfig, DominatorStrategy};
+use bc_solver::{AdpllSolver, MonteCarloSolver, NaiveSolver, Solver};
+
+/// Which probability solver drives entropy/utility computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SolverKind {
+    /// The paper's ADPLL (exact, fast) — the default.
+    #[default]
+    Adpll,
+    /// Brute-force enumeration (exact, slow) — the Figure 3 baseline.
+    Naive,
+    /// Monte-Carlo estimation — the ApproxCount stand-in.
+    MonteCarlo,
+}
+
+impl SolverKind {
+    /// Instantiates the solver.
+    pub fn build(self) -> Box<dyn Solver> {
+        match self {
+            SolverKind::Adpll => Box::new(AdpllSolver::new()),
+            SolverKind::Naive => Box::new(NaiveSolver::new()),
+            SolverKind::MonteCarlo => Box::new(MonteCarloSolver::default()),
+        }
+    }
+}
+
+/// All knobs of a BayesCrowd run. Field defaults follow the paper's
+/// Synthetic-dataset setting where one exists.
+#[derive(Clone, Debug)]
+pub struct BayesCrowdConfig {
+    /// Budget `B`: total number of tasks the requester can afford.
+    pub budget: usize,
+    /// Latency constraint `L`: number of task-selection rounds; each round
+    /// posts up to `⌈B / L⌉` tasks.
+    pub latency: usize,
+    /// The pruning threshold `α` of c-table construction.
+    pub alpha: f64,
+    /// Task-selection strategy (FBS / UBS / HHS).
+    pub strategy: TaskStrategy,
+    /// How objects are ranked when choosing the top-k per round (the paper
+    /// uses entropy; `Random` is the ablation baseline).
+    pub ranking: ObjectRanking,
+    /// Probability solver.
+    pub solver: SolverKind,
+    /// Dominator-set derivation (fast index vs pairwise baseline).
+    pub dominators: DominatorStrategy,
+    /// Bayesian-network modeling configuration (set
+    /// `model.uniform_prior = true` for the no-correlation ablation).
+    pub model: ModelConfig,
+    /// If `false`, tasks in one round may share variables — the
+    /// conflict-avoidance ablation (the paper requires `true`).
+    pub conflict_free: bool,
+    /// If `false`, crowd answers only decide their own expression instead of
+    /// being propagated through the constraint store — the inference
+    /// ablation that makes BayesCrowd behave like a non-inferring baseline.
+    pub propagate_answers: bool,
+    /// Compute per-object probabilities on multiple threads.
+    pub parallel: bool,
+    /// Probability threshold above which an undecided object is reported as
+    /// an answer (the paper uses 0.5).
+    pub answer_threshold: f64,
+}
+
+impl Default for BayesCrowdConfig {
+    fn default() -> Self {
+        BayesCrowdConfig {
+            budget: 1000,
+            latency: 10,
+            alpha: 0.01,
+            strategy: TaskStrategy::Hhs { m: 50 },
+            ranking: ObjectRanking::Entropy,
+            solver: SolverKind::Adpll,
+            dominators: DominatorStrategy::FastIndex,
+            model: ModelConfig::default(),
+            conflict_free: true,
+            propagate_answers: true,
+            parallel: false,
+            answer_threshold: 0.5,
+        }
+    }
+}
+
+impl BayesCrowdConfig {
+    /// The paper's NBA-dataset defaults: `α = 0.003`, `B = 50`, `m = 15`,
+    /// `L = 5`.
+    pub fn nba_defaults() -> BayesCrowdConfig {
+        BayesCrowdConfig {
+            budget: 50,
+            latency: 5,
+            alpha: 0.003,
+            strategy: TaskStrategy::Hhs { m: 15 },
+            ..Default::default()
+        }
+    }
+
+    /// The paper's Synthetic-dataset defaults: `α = 0.01`, `B = 1000`,
+    /// `m = 50`, `L = 10`.
+    pub fn synthetic_defaults() -> BayesCrowdConfig {
+        BayesCrowdConfig::default()
+    }
+
+    /// Tasks per round: `μ = ⌈B / L⌉` (Algorithm 4, line 1).
+    pub fn tasks_per_round(&self) -> usize {
+        if self.latency == 0 {
+            self.budget
+        } else {
+            self.budget.div_ceil(self.latency)
+        }
+    }
+
+    /// The c-table construction sub-config.
+    pub fn ctable_config(&self) -> CTableConfig {
+        CTableConfig {
+            alpha: self.alpha,
+            strategy: self.dominators,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tasks_per_round_matches_algorithm_4() {
+        let c = BayesCrowdConfig {
+            budget: 6,
+            latency: 3,
+            ..Default::default()
+        };
+        assert_eq!(c.tasks_per_round(), 2);
+        let c = BayesCrowdConfig {
+            budget: 7,
+            latency: 3,
+            ..Default::default()
+        };
+        assert_eq!(c.tasks_per_round(), 3);
+        let c = BayesCrowdConfig {
+            budget: 5,
+            latency: 0,
+            ..Default::default()
+        };
+        assert_eq!(c.tasks_per_round(), 5);
+    }
+
+    #[test]
+    fn paper_defaults() {
+        let nba = BayesCrowdConfig::nba_defaults();
+        assert_eq!(nba.budget, 50);
+        assert_eq!(nba.latency, 5);
+        assert!((nba.alpha - 0.003).abs() < 1e-12);
+        assert_eq!(nba.strategy, TaskStrategy::Hhs { m: 15 });
+        let syn = BayesCrowdConfig::synthetic_defaults();
+        assert_eq!(syn.budget, 1000);
+        assert_eq!(syn.strategy, TaskStrategy::Hhs { m: 50 });
+    }
+
+    #[test]
+    fn solver_kinds_build() {
+        assert_eq!(SolverKind::Adpll.build().name(), "ADPLL");
+        assert_eq!(SolverKind::Naive.build().name(), "Naive");
+        assert_eq!(SolverKind::MonteCarlo.build().name(), "MonteCarlo");
+    }
+}

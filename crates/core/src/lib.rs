@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+//! **BayesCrowd** — answering skyline queries over incomplete data with
+//! crowdsourcing.
+//!
+//! This is the paper's primary contribution: a two-phase framework
+//! (Algorithm 1) that
+//!
+//! 1. **models** the query — trains a Bayesian network over the attributes,
+//!    learns a conditional value distribution for every missing cell, and
+//!    builds the c-table assigning each object the condition under which it
+//!    is a skyline answer (Algorithm 2); then
+//! 2. **crowdsources** — iteratively selects conflict-free batches of
+//!    triple-choice tasks under a budget `B` and a latency constraint `L`
+//!    (Algorithm 4), posts them, folds the answers back into the c-table
+//!    via constraint propagation, and finally reports every object whose
+//!    condition is true or holds with probability above ½.
+//!
+//! Task selection inside a batch follows one of three strategies
+//! ([`TaskStrategy`]): **FBS** (most frequent expression), **UBS** (highest
+//! marginal utility, Definition 6), or **HHS** (frequency-ordered utility
+//! search with an `m`-lookahead stop — the paper's recommended balance).
+//!
+//! ```
+//! use bayescrowd::{BayesCrowd, BayesCrowdConfig, TaskStrategy};
+//! use bc_crowd::{GroundTruthOracle, SimulatedPlatform};
+//! use bc_data::generators::sample::{paper_completion, paper_dataset};
+//!
+//! let data = paper_dataset();
+//! let oracle = GroundTruthOracle::new(paper_completion());
+//! let mut platform = SimulatedPlatform::new(oracle, 1.0, 42);
+//!
+//! let config = BayesCrowdConfig {
+//!     budget: 20,
+//!     latency: 10,
+//!     alpha: 1.0,
+//!     strategy: TaskStrategy::Hhs { m: 2 },
+//!     ..Default::default()
+//! };
+//! let report = BayesCrowd::new(config).run(&data, &mut platform);
+//! assert_eq!(report.accuracy.unwrap().f1, 1.0);
+//! ```
+
+pub mod config;
+pub mod framework;
+pub mod report;
+pub mod selection;
+pub mod strategy;
+
+pub use config::{BayesCrowdConfig, SolverKind};
+pub use framework::BayesCrowd;
+pub use report::RunReport;
+pub use selection::ObjectRanking;
+pub use strategy::TaskStrategy;

@@ -1,0 +1,240 @@
+//! Per-round object ranking and conflict-free task assembly (the two steps
+//! of Section 6.2).
+
+use crate::strategy::{expression_frequencies, select_expression, TaskStrategy};
+use bc_crowd::Task;
+use bc_ctable::CTable;
+use bc_data::{ObjectId, VarId};
+use bc_solver::utility::object_entropy;
+use bc_solver::{Solver, VarDists};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+
+/// How open objects are ranked before task selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjectRanking {
+    /// Descending Shannon entropy of `Pr(φ(o))` — the paper's step (i).
+    Entropy,
+    /// A seeded random permutation — the ablation showing the entropy
+    /// heuristic's value.
+    Random {
+        /// Shuffle seed.
+        seed: u64,
+    },
+}
+
+/// An open object with its current probability and entropy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RankedObject {
+    /// The object.
+    pub object: ObjectId,
+    /// `Pr(φ(o))` under the current distributions.
+    pub probability: f64,
+    /// `H(o)` (Eq. 3).
+    pub entropy: f64,
+}
+
+/// Ranks open objects by descending entropy (ties by id, deterministic) —
+/// step (i) of task selection.
+pub fn rank_by_entropy(probs: &[(ObjectId, f64)]) -> Vec<RankedObject> {
+    let mut ranked: Vec<RankedObject> = probs
+        .iter()
+        .map(|&(object, probability)| RankedObject {
+            object,
+            probability,
+            entropy: object_entropy(probability),
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.entropy
+            .partial_cmp(&a.entropy)
+            .expect("entropies are finite")
+            .then(a.object.cmp(&b.object))
+    });
+    ranked
+}
+
+/// Ranks open objects under the chosen policy.
+pub fn rank_objects(probs: &[(ObjectId, f64)], ranking: ObjectRanking) -> Vec<RankedObject> {
+    match ranking {
+        ObjectRanking::Entropy => rank_by_entropy(probs),
+        ObjectRanking::Random { seed } => {
+            let mut ranked: Vec<RankedObject> = probs
+                .iter()
+                .map(|&(object, probability)| RankedObject {
+                    object,
+                    probability,
+                    entropy: object_entropy(probability),
+                })
+                .collect();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            ranked.shuffle(&mut rng);
+            ranked
+        }
+    }
+}
+
+/// Step (ii): walks the ranked objects and selects one expression (= task)
+/// per object under the strategy until `limit` tasks are chosen. With
+/// `conflict_free`, no two selected tasks may share a variable — objects
+/// whose every expression conflicts are skipped (and more objects further
+/// down the ranking are considered instead).
+pub fn assemble_round(
+    ranked: &[RankedObject],
+    ctable: &CTable,
+    strategy: TaskStrategy,
+    solver: &dyn Solver,
+    dists: &VarDists,
+    limit: usize,
+    conflict_free: bool,
+) -> Vec<Task> {
+    if limit == 0 {
+        return Vec::new();
+    }
+    // Frequencies are counted over the conditions of the objects considered
+    // this round (the paper's "chosen top-k objects").
+    let top: Vec<ObjectId> = ranked.iter().take(limit).map(|r| r.object).collect();
+    let freq = expression_frequencies(top.iter().map(|&o| ctable.condition(o)));
+
+    let mut used_vars: BTreeSet<VarId> = BTreeSet::new();
+    let empty: BTreeSet<VarId> = BTreeSet::new();
+    let mut tasks = Vec::with_capacity(limit);
+    for r in ranked {
+        if tasks.len() >= limit {
+            break;
+        }
+        let cond = ctable.condition(r.object);
+        if cond.is_decided() {
+            continue;
+        }
+        let blocked = if conflict_free { &used_vars } else { &empty };
+        let Some(expr) =
+            select_expression(strategy, cond, &freq, blocked, solver, dists, r.probability)
+        else {
+            continue;
+        };
+        let task = Task::from_expr(&expr);
+        if conflict_free {
+            used_vars.extend(task.vars());
+        }
+        tasks.push(task);
+    }
+    tasks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_bayes::Pmf;
+    use bc_ctable::{Condition, Expr};
+    use bc_solver::AdpllSolver;
+
+    fn v(o: u32, a: u16) -> VarId {
+        VarId::new(o, a)
+    }
+
+    #[test]
+    fn ranking_prefers_uncertain_objects() {
+        let ranked = rank_by_entropy(&[
+            (ObjectId(0), 0.95),
+            (ObjectId(1), 0.5),
+            (ObjectId(2), 0.7),
+        ]);
+        assert_eq!(ranked[0].object, ObjectId(1));
+        assert_eq!(ranked[1].object, ObjectId(2));
+        assert_eq!(ranked[2].object, ObjectId(0));
+        assert!(ranked[0].entropy > ranked[2].entropy);
+    }
+
+    #[test]
+    fn random_ranking_is_a_seeded_permutation() {
+        let probs: Vec<(ObjectId, f64)> =
+            (0..10).map(|i| (ObjectId(i), 0.1 * i as f64)).collect();
+        let a = rank_objects(&probs, ObjectRanking::Random { seed: 4 });
+        let b = rank_objects(&probs, ObjectRanking::Random { seed: 4 });
+        assert_eq!(a, b, "same seed, same order");
+        let c = rank_objects(&probs, ObjectRanking::Random { seed: 5 });
+        assert_ne!(a, c, "different seed, different order");
+        // Same multiset of objects as the entropy ranking.
+        let mut ids: Vec<ObjectId> = a.iter().map(|r| r.object).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..10).map(ObjectId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranking_breaks_ties_by_id() {
+        let ranked = rank_by_entropy(&[(ObjectId(3), 0.5), (ObjectId(1), 0.5)]);
+        assert_eq!(ranked[0].object, ObjectId(1));
+    }
+
+    fn two_object_setup() -> (CTable, VarDists) {
+        // o0: (x < 5), o1: (x > 2 ∨ y < 3) — they share variable x.
+        let x = v(9, 0);
+        let y = v(9, 1);
+        let ct = CTable::new(vec![
+            Condition::from_clauses(vec![vec![Expr::lt(x, 5)]]),
+            Condition::from_clauses(vec![vec![Expr::gt(x, 2), Expr::lt(y, 3)]]),
+        ]);
+        let dists: VarDists = [(x, Pmf::uniform(10)), (y, Pmf::uniform(10))]
+            .into_iter()
+            .collect();
+        (ct, dists)
+    }
+
+    #[test]
+    fn conflict_free_round_never_shares_variables() {
+        let (ct, dists) = two_object_setup();
+        let solver = AdpllSolver::new();
+        let ranked = rank_by_entropy(&[(ObjectId(0), 0.5), (ObjectId(1), 0.6)]);
+        let tasks = assemble_round(
+            &ranked,
+            &ct,
+            TaskStrategy::Fbs,
+            &solver,
+            &dists,
+            2,
+            true,
+        );
+        assert_eq!(tasks.len(), 2);
+        assert!(!tasks[0].conflicts_with(&tasks[1]));
+    }
+
+    #[test]
+    fn without_conflict_avoidance_duplicate_vars_can_appear() {
+        let (ct, dists) = two_object_setup();
+        let solver = AdpllSolver::new();
+        let ranked = rank_by_entropy(&[(ObjectId(0), 0.5), (ObjectId(1), 0.6)]);
+        // FBS picks the x-expression for both objects when not blocked
+        // (x-expressions are the most frequent across the two conditions).
+        let tasks = assemble_round(
+            &ranked,
+            &ct,
+            TaskStrategy::Fbs,
+            &solver,
+            &dists,
+            2,
+            false,
+        );
+        assert_eq!(tasks.len(), 2);
+        assert!(tasks[0].conflicts_with(&tasks[1]));
+    }
+
+    #[test]
+    fn limit_caps_the_batch() {
+        let (ct, dists) = two_object_setup();
+        let solver = AdpllSolver::new();
+        let ranked = rank_by_entropy(&[(ObjectId(0), 0.5), (ObjectId(1), 0.6)]);
+        let tasks = assemble_round(
+            &ranked,
+            &ct,
+            TaskStrategy::Fbs,
+            &solver,
+            &dists,
+            1,
+            true,
+        );
+        assert_eq!(tasks.len(), 1);
+        assert!(assemble_round(&ranked, &ct, TaskStrategy::Fbs, &solver, &dists, 0, true).is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! Task-selection strategies (Section 6.2): FBS, UBS, HHS.
+
+use bc_ctable::{Condition, Expr};
+use bc_data::VarId;
+use bc_solver::utility::marginal_utility_with_prior;
+use bc_solver::{Solver, VarDists};
+use std::collections::{BTreeSet, HashMap};
+
+/// The three expression-selection strategies of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskStrategy {
+    /// Frequency-based: pick the expression appearing most often across the
+    /// chosen objects' conditions. Fastest, least accurate.
+    Fbs,
+    /// Utility-based: pick the expression with the highest marginal utility
+    /// (Definition 6). Most accurate, slowest.
+    Ubs,
+    /// Hybrid heuristic (Algorithm 4): walk expressions in frequency order,
+    /// computing utilities, and stop after `m` consecutive non-improvements.
+    Hhs {
+        /// The lookahead parameter `m`.
+        m: usize,
+    },
+}
+
+impl TaskStrategy {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TaskStrategy::Fbs => "FBS",
+            TaskStrategy::Ubs => "UBS",
+            TaskStrategy::Hhs { .. } => "HHS",
+        }
+    }
+}
+
+/// Expression frequencies across a set of conditions (the paper counts how
+/// often each expression appears in the conditions of the chosen top-k
+/// objects).
+pub fn expression_frequencies<'a>(
+    conditions: impl IntoIterator<Item = &'a Condition>,
+) -> HashMap<Expr, usize> {
+    let mut freq = HashMap::new();
+    for cond in conditions {
+        for e in cond.exprs() {
+            *freq.entry(*e).or_insert(0) += 1;
+        }
+    }
+    freq
+}
+
+/// The candidate expressions of `cond`, excluding those touching a blocked
+/// variable, ordered by descending frequency (ties broken by expression
+/// order for determinism).
+fn candidates(
+    cond: &Condition,
+    freq: &HashMap<Expr, usize>,
+    blocked: &BTreeSet<VarId>,
+) -> Vec<Expr> {
+    let mut seen = BTreeSet::new();
+    let mut out: Vec<Expr> = cond
+        .exprs()
+        .filter(|e| seen.insert(**e))
+        .filter(|e| e.vars().all(|v| !blocked.contains(&v)))
+        .copied()
+        .collect();
+    out.sort_by(|a, b| {
+        freq.get(b)
+            .unwrap_or(&0)
+            .cmp(freq.get(a).unwrap_or(&0))
+            .then(a.cmp(b))
+    });
+    out
+}
+
+/// Selects the crowd expression for one object's condition under the given
+/// strategy. `blocked` holds variables already used by tasks selected this
+/// round (conflict avoidance); `p_phi` is the object's current condition
+/// probability (reused by the utility computations). Returns `None` if
+/// every expression conflicts.
+pub fn select_expression(
+    strategy: TaskStrategy,
+    cond: &Condition,
+    freq: &HashMap<Expr, usize>,
+    blocked: &BTreeSet<VarId>,
+    solver: &dyn Solver,
+    dists: &VarDists,
+    p_phi: f64,
+) -> Option<Expr> {
+    let cands = candidates(cond, freq, blocked);
+    if cands.is_empty() {
+        return None;
+    }
+    match strategy {
+        TaskStrategy::Fbs => Some(cands[0]),
+        TaskStrategy::Ubs => {
+            let mut best: Option<(f64, Expr)> = None;
+            for e in cands {
+                let g = marginal_utility_with_prior(solver, cond, &e, dists, p_phi).unwrap_or(0.0);
+                if best.is_none_or(|(bg, _)| g > bg) {
+                    best = Some((g, e));
+                }
+            }
+            best.map(|(_, e)| e)
+        }
+        TaskStrategy::Hhs { m } => {
+            let mut best: Option<(f64, Expr)> = None;
+            let mut since_improvement = 0usize;
+            for e in cands {
+                let g = marginal_utility_with_prior(solver, cond, &e, dists, p_phi).unwrap_or(0.0);
+                if best.is_none_or(|(bg, _)| g > bg) {
+                    best = Some((g, e));
+                    since_improvement = 0;
+                } else {
+                    since_improvement += 1;
+                    if since_improvement >= m.max(1) {
+                        break;
+                    }
+                }
+            }
+            best.map(|(_, e)| e)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_bayes::Pmf;
+    use bc_solver::AdpllSolver;
+
+    fn v(o: u32, a: u16) -> VarId {
+        VarId::new(o, a)
+    }
+
+    fn simple_setup() -> (Condition, VarDists) {
+        // φ = (x < 5 ∨ y < 1) ∧ (z > 3): x-question is most informative in
+        // the first clause; z in its own clause.
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::lt(v(0, 0), 5), Expr::lt(v(1, 0), 1)],
+            vec![Expr::gt(v(2, 0), 3)],
+        ]);
+        let dists: VarDists = [
+            (v(0, 0), Pmf::uniform(10)),
+            (v(1, 0), Pmf::uniform(10)),
+            (v(2, 0), Pmf::uniform(10)),
+        ]
+        .into_iter()
+        .collect();
+        (cond, dists)
+    }
+
+    #[test]
+    fn fbs_follows_frequency() {
+        let (cond, dists) = simple_setup();
+        // Make y's expression globally frequent.
+        let other = Condition::from_clauses(vec![vec![Expr::lt(v(1, 0), 1)]]);
+        let freq = expression_frequencies([&cond, &other, &other]);
+        let solver = AdpllSolver::new();
+        let p = solver.probability(&cond, &dists).unwrap();
+        let picked = select_expression(
+            TaskStrategy::Fbs,
+            &cond,
+            &freq,
+            &BTreeSet::new(),
+            &solver,
+            &dists,
+            p,
+        )
+        .unwrap();
+        assert_eq!(picked, Expr::lt(v(1, 0), 1));
+    }
+
+    #[test]
+    fn ubs_follows_utility() {
+        let (cond, dists) = simple_setup();
+        let freq = expression_frequencies([&cond]);
+        let solver = AdpllSolver::new();
+        let p = solver.probability(&cond, &dists).unwrap();
+        let picked = select_expression(
+            TaskStrategy::Ubs,
+            &cond,
+            &freq,
+            &BTreeSet::new(),
+            &solver,
+            &dists,
+            p,
+        )
+        .unwrap();
+        // "y < 1" is nearly decided (p = .1) so the utility of asking it is
+        // small; x or z dominate. UBS must not pick y.
+        assert_ne!(picked, Expr::lt(v(1, 0), 1));
+    }
+
+    #[test]
+    fn hhs_with_large_m_matches_ubs() {
+        let (cond, dists) = simple_setup();
+        let freq = expression_frequencies([&cond]);
+        let solver = AdpllSolver::new();
+        let p = solver.probability(&cond, &dists).unwrap();
+        let ubs = select_expression(
+            TaskStrategy::Ubs,
+            &cond,
+            &freq,
+            &BTreeSet::new(),
+            &solver,
+            &dists,
+            p,
+        );
+        let hhs = select_expression(
+            TaskStrategy::Hhs { m: 100 },
+            &cond,
+            &freq,
+            &BTreeSet::new(),
+            &solver,
+            &dists,
+            p,
+        );
+        assert_eq!(ubs, hhs);
+    }
+
+    #[test]
+    fn hhs_with_m_one_stops_early() {
+        let (cond, dists) = simple_setup();
+        let freq = expression_frequencies([&cond]);
+        let solver = AdpllSolver::new();
+        // m = 1: stops at the first non-improving expression, so it returns
+        // some expression but possibly not the UBS optimum; it must still
+        // return one.
+        let p = solver.probability(&cond, &dists).unwrap();
+        let picked = select_expression(
+            TaskStrategy::Hhs { m: 1 },
+            &cond,
+            &freq,
+            &BTreeSet::new(),
+            &solver,
+            &dists,
+            p,
+        );
+        assert!(picked.is_some());
+    }
+
+    #[test]
+    fn blocked_variables_are_skipped() {
+        let (cond, dists) = simple_setup();
+        let freq = expression_frequencies([&cond]);
+        let solver = AdpllSolver::new();
+        let blocked: BTreeSet<VarId> = [v(0, 0), v(2, 0)].into_iter().collect();
+        let p = solver.probability(&cond, &dists).unwrap();
+        let picked = select_expression(
+            TaskStrategy::Fbs,
+            &cond,
+            &freq,
+            &blocked,
+            &solver,
+            &dists,
+            p,
+        )
+        .unwrap();
+        assert_eq!(picked, Expr::lt(v(1, 0), 1));
+        // Everything blocked → no task.
+        let all: BTreeSet<VarId> = [v(0, 0), v(1, 0), v(2, 0)].into_iter().collect();
+        assert_eq!(
+            select_expression(TaskStrategy::Fbs, &cond, &freq, &all, &solver, &dists, p),
+            None
+        );
+    }
+
+    #[test]
+    fn strategy_names() {
+        assert_eq!(TaskStrategy::Fbs.name(), "FBS");
+        assert_eq!(TaskStrategy::Ubs.name(), "UBS");
+        assert_eq!(TaskStrategy::Hhs { m: 3 }.name(), "HHS");
+    }
+}

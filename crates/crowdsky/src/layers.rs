@@ -1,0 +1,143 @@
+//! Skyline layers over the observed attributes.
+
+use bc_data::{AttrId, Dataset, ObjectId};
+
+/// Whether `u` is not worse than `v` on every listed attribute (all of which
+/// must be observed), i.e. `u` can possibly dominate `v` overall.
+pub fn obs_not_worse(data: &Dataset, u: ObjectId, v: ObjectId, observed: &[AttrId]) -> bool {
+    observed.iter().all(|&a| {
+        let uv = data.get(u, a).expect("observed attribute must be present");
+        let vv = data.get(v, a).expect("observed attribute must be present");
+        uv >= vv
+    })
+}
+
+/// Whether `u` strictly beats `v` somewhere on the observed attributes.
+pub fn obs_strictly_better(
+    data: &Dataset,
+    u: ObjectId,
+    v: ObjectId,
+    observed: &[AttrId],
+) -> bool {
+    observed.iter().any(|&a| {
+        data.get(u, a).expect("observed attribute must be present")
+            > data.get(v, a).expect("observed attribute must be present")
+    })
+}
+
+/// Partitions objects into skyline layers over the observed attributes:
+/// layer 0 is the observed-attribute skyline, layer 1 the skyline of the
+/// remainder, and so on. Objects in later layers can only be dominated
+/// overall by objects in the same or earlier layers.
+pub fn skyline_layers(data: &Dataset, observed: &[AttrId]) -> Vec<Vec<ObjectId>> {
+    let dominates = |u: ObjectId, v: ObjectId| -> bool {
+        obs_not_worse(data, u, v, observed) && obs_strictly_better(data, u, v, observed)
+    };
+    let mut remaining: Vec<ObjectId> = data.objects().collect();
+    let mut layers = Vec::new();
+    while !remaining.is_empty() {
+        let layer: Vec<ObjectId> = remaining
+            .iter()
+            .copied()
+            .filter(|&v| !remaining.iter().any(|&u| u != v && dominates(u, v)))
+            .collect();
+        debug_assert!(!layer.is_empty(), "a finite partial order always has maxima");
+        remaining.retain(|o| !layer.contains(o));
+        layers.push(layer);
+    }
+    layers
+}
+
+/// Sorts objects by layer index (used to schedule comparisons promising
+/// dominators first).
+pub fn layer_index(layers: &[Vec<ObjectId>], n_objects: usize) -> Vec<usize> {
+    let mut idx = vec![0usize; n_objects];
+    for (li, layer) in layers.iter().enumerate() {
+        for &o in layer {
+            idx[o.index()] = li;
+        }
+    }
+    idx
+}
+
+/// Helper used in tests/benches: the observed/crowd attribute split of a
+/// dataset where crowd attributes are exactly the fully missing columns.
+pub fn split_attributes(data: &Dataset) -> (Vec<AttrId>, Vec<AttrId>) {
+    let mut observed = Vec::new();
+    let mut crowd = Vec::new();
+    for a in data.attrs() {
+        let all_missing = data.objects().all(|o| data.get(o, a).is_none());
+        let none_missing = data.objects().all(|o| data.get(o, a).is_some());
+        if all_missing {
+            crowd.push(a);
+        } else {
+            assert!(
+                none_missing,
+                "CrowdSky requires attributes to be fully observed or fully missing; {a} is mixed"
+            );
+            observed.push(a);
+        }
+    }
+    (observed, crowd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_data::domain::uniform_domains;
+    use bc_data::Value;
+    use bc_data::missing::mask_attributes;
+
+    fn ds(rows: Vec<Vec<Value>>) -> Dataset {
+        let d = rows[0].len();
+        Dataset::from_complete_rows("t", uniform_domains(d, 10).unwrap(), rows).unwrap()
+    }
+
+    #[test]
+    fn layers_partition_objects() {
+        let data = ds(vec![
+            vec![9, 9], // layer 0
+            vec![5, 5], // layer 1
+            vec![1, 1], // layer 2
+            vec![9, 1], // layer 0 (incomparable with (9,9)? no: (9,9) ≥ and > on a2 → dominated → layer 1)
+        ]);
+        let attrs: Vec<AttrId> = data.attrs().collect();
+        let layers = skyline_layers(&data, &attrs);
+        let total: usize = layers.iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+        assert_eq!(layers[0], vec![ObjectId(0)]);
+        assert!(layers[1].contains(&ObjectId(1)) && layers[1].contains(&ObjectId(3)));
+        assert_eq!(layers[2], vec![ObjectId(2)]);
+        let idx = layer_index(&layers, 4);
+        assert_eq!(idx, vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn obs_comparisons() {
+        let data = ds(vec![vec![3, 5], vec![3, 4], vec![4, 4]]);
+        let attrs: Vec<AttrId> = data.attrs().collect();
+        assert!(obs_not_worse(&data, ObjectId(0), ObjectId(1), &attrs));
+        assert!(!obs_not_worse(&data, ObjectId(1), ObjectId(0), &attrs));
+        assert!(obs_strictly_better(&data, ObjectId(0), ObjectId(1), &attrs));
+        assert!(!obs_strictly_better(&data, ObjectId(1), ObjectId(1), &attrs));
+        // Incomparable pair.
+        assert!(!obs_not_worse(&data, ObjectId(0), ObjectId(2), &attrs));
+    }
+
+    #[test]
+    fn split_detects_crowd_attributes() {
+        let complete = ds(vec![vec![1, 2, 3], vec![4, 5, 6]]);
+        let masked = mask_attributes(&complete, &[AttrId(1)]);
+        let (obs, crowd) = split_attributes(&masked);
+        assert_eq!(obs, vec![AttrId(0), AttrId(2)]);
+        assert_eq!(crowd, vec![AttrId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fully observed or fully missing")]
+    fn mixed_attributes_are_rejected() {
+        let mut data = ds(vec![vec![1, 2], vec![3, 4]]);
+        data.set(ObjectId(0), AttrId(1), None).unwrap();
+        let _ = split_attributes(&data);
+    }
+}

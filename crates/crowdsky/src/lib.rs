@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! **CrowdSky** — the state-of-the-art baseline (Lee, Lee & Kim, EDBT'16),
+//! re-implemented from its description in the BayesCrowd paper.
+//!
+//! CrowdSky answers skyline queries when the attribute set is split into
+//! fully *observed* attributes and fully *crowd* attributes (every value of
+//! a crowd attribute is unknown to the machine). It:
+//!
+//! 1. computes **skyline layers** over the observed attributes ([`layers`]),
+//! 2. enumerates candidate dominator pairs `(u, v)` where `u` is not worse
+//!    than `v` on every observed attribute,
+//! 3. crowdsources **pairwise comparisons** of `u` and `v` on each crowd
+//!    attribute — one task per unknown comparison, in fixed-size rounds —
+//!    until each pair's dominance is decided, and
+//! 4. prunes with the **dominating set**: once `v` is known dominated it is
+//!    dropped, and (dominance being transitive) dominated objects are never
+//!    used as dominators.
+//!
+//! Crucially, unlike BayesCrowd, CrowdSky performs *no probabilistic
+//! inference*: every needed comparison is asked explicitly (answers are only
+//! reused for the identical pair/attribute), which is why it needs at least
+//! an order of magnitude more tasks and rounds (Figure 4 of the paper).
+
+pub mod layers;
+pub mod pairs;
+pub mod runner;
+
+pub use layers::skyline_layers;
+pub use runner::{CrowdSky, CrowdSkyConfig, CrowdSkyReport};

@@ -1,0 +1,155 @@
+//! Candidate dominator pairs and their resolution state.
+
+use bc_ctable::Relation;
+use bc_data::{AttrId, ObjectId};
+use std::collections::HashMap;
+
+/// State of one candidate pair `(u, v)`: does `u` dominate `v`?
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PairState {
+    /// Some crowd comparisons still unknown.
+    Open,
+    /// `u` dominates `v`.
+    Dominates,
+    /// `u` does not dominate `v`.
+    NotDominates,
+}
+
+/// A candidate pair under investigation.
+#[derive(Clone, Debug)]
+pub struct Pair {
+    /// The potential dominator.
+    pub u: ObjectId,
+    /// The potential dominatee.
+    pub v: ObjectId,
+    /// Whether the observed attributes already give `u` a strict win.
+    pub obs_strict: bool,
+}
+
+/// Cache of answered pairwise comparisons `(u, v, attr) → relation of u's
+/// value to v's`, shared by all pairs so the identical question is never
+/// posted twice.
+#[derive(Clone, Debug, Default)]
+pub struct ComparisonCache {
+    answers: HashMap<(ObjectId, ObjectId, AttrId), Relation>,
+}
+
+impl ComparisonCache {
+    /// Records an answered comparison (both orientations).
+    pub fn record(&mut self, u: ObjectId, v: ObjectId, a: AttrId, rel: Relation) {
+        self.answers.insert((u, v, a), rel);
+        self.answers.insert((v, u, a), rel.flipped());
+    }
+
+    /// Looks up a comparison.
+    pub fn get(&self, u: ObjectId, v: ObjectId, a: AttrId) -> Option<Relation> {
+        self.answers.get(&(u, v, a)).copied()
+    }
+
+    /// Number of distinct (unordered) comparisons known.
+    pub fn len(&self) -> usize {
+        self.answers.len() / 2
+    }
+
+    /// Whether nothing is known yet.
+    pub fn is_empty(&self) -> bool {
+        self.answers.is_empty()
+    }
+}
+
+impl Pair {
+    /// Resolves the pair against the cache: `u` dominates `v` iff `u ≥ v`
+    /// on every crowd attribute and strictly beats `v` somewhere (observed
+    /// or crowd). Returns [`PairState::Open`] while comparisons are missing.
+    pub fn state(&self, crowd_attrs: &[AttrId], cache: &ComparisonCache) -> PairState {
+        let mut strict = self.obs_strict;
+        let mut unknown = false;
+        for &a in crowd_attrs {
+            match cache.get(self.u, self.v, a) {
+                Some(Relation::Lt) => return PairState::NotDominates,
+                Some(Relation::Gt) => strict = true,
+                Some(Relation::Eq) => {}
+                None => unknown = true,
+            }
+        }
+        if unknown {
+            // Even with unknowns, domination may already be impossible only
+            // via a Lt (handled above); otherwise wait for answers.
+            PairState::Open
+        } else if strict {
+            PairState::Dominates
+        } else {
+            // u equals v everywhere it could matter: ties never dominate.
+            PairState::NotDominates
+        }
+    }
+
+    /// The first crowd attribute whose comparison is still unknown.
+    pub fn next_unknown(&self, crowd_attrs: &[AttrId], cache: &ComparisonCache) -> Option<AttrId> {
+        crowd_attrs
+            .iter()
+            .copied()
+            .find(|&a| cache.get(self.u, self.v, a).is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(strict: bool) -> Pair {
+        Pair {
+            u: ObjectId(0),
+            v: ObjectId(1),
+            obs_strict: strict,
+        }
+    }
+
+    #[test]
+    fn lt_answer_kills_domination_immediately() {
+        let mut cache = ComparisonCache::default();
+        let attrs = [AttrId(0), AttrId(1)];
+        cache.record(ObjectId(0), ObjectId(1), AttrId(0), Relation::Lt);
+        assert_eq!(pair(true).state(&attrs, &cache), PairState::NotDominates);
+    }
+
+    #[test]
+    fn full_knowledge_decides() {
+        let mut cache = ComparisonCache::default();
+        let attrs = [AttrId(0), AttrId(1)];
+        cache.record(ObjectId(0), ObjectId(1), AttrId(0), Relation::Gt);
+        assert_eq!(pair(false).state(&attrs, &cache), PairState::Open);
+        cache.record(ObjectId(0), ObjectId(1), AttrId(1), Relation::Eq);
+        assert_eq!(pair(false).state(&attrs, &cache), PairState::Dominates);
+    }
+
+    #[test]
+    fn all_equal_is_not_dominance() {
+        let mut cache = ComparisonCache::default();
+        let attrs = [AttrId(0)];
+        cache.record(ObjectId(0), ObjectId(1), AttrId(0), Relation::Eq);
+        assert_eq!(pair(false).state(&attrs, &cache), PairState::NotDominates);
+        // ...unless the observed side was already strict.
+        assert_eq!(pair(true).state(&attrs, &cache), PairState::Dominates);
+    }
+
+    #[test]
+    fn cache_is_symmetric_and_deduplicates() {
+        let mut cache = ComparisonCache::default();
+        cache.record(ObjectId(0), ObjectId(1), AttrId(0), Relation::Gt);
+        assert_eq!(cache.get(ObjectId(1), ObjectId(0), AttrId(0)), Some(Relation::Lt));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn next_unknown_walks_attributes() {
+        let mut cache = ComparisonCache::default();
+        let attrs = [AttrId(0), AttrId(1)];
+        let p = pair(false);
+        assert_eq!(p.next_unknown(&attrs, &cache), Some(AttrId(0)));
+        cache.record(ObjectId(0), ObjectId(1), AttrId(0), Relation::Eq);
+        assert_eq!(p.next_unknown(&attrs, &cache), Some(AttrId(1)));
+        cache.record(ObjectId(0), ObjectId(1), AttrId(1), Relation::Eq);
+        assert_eq!(p.next_unknown(&attrs, &cache), None);
+    }
+}

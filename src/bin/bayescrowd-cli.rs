@@ -1,0 +1,157 @@
+//! Command-line front end for crowd-assisted skyline queries.
+//!
+//! ```text
+//! # Machine-only pass over an incomplete CSV (see bc_data::csv for the
+//! # format): prints certain answers and per-object probabilities.
+//! bayescrowd-cli machine --data movies.csv
+//!
+//! # Full simulated crowdsourcing run (the hidden complete CSV plays the
+//! # crowd): prints the answer set, cost, and accuracy.
+//! bayescrowd-cli simulate --data movies.csv --complete movies_full.csv \
+//!     --budget 50 --latency 5 --alpha 0.01 --strategy hhs --m 15 \
+//!     --worker-accuracy 0.95 --seed 42
+//! ```
+
+use bayescrowd::framework::machine_only_answers;
+use bayescrowd::{BayesCrowd, BayesCrowdConfig, TaskStrategy};
+use bc_crowd::{GroundTruthOracle, SimulatedPlatform};
+use bc_data::csv::parse_csv;
+use bc_data::Dataset;
+use std::process::exit;
+
+struct Args {
+    mode: String,
+    data: Option<String>,
+    complete: Option<String>,
+    budget: usize,
+    latency: usize,
+    alpha: f64,
+    strategy: String,
+    m: usize,
+    worker_accuracy: f64,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bayescrowd-cli <machine|simulate> --data FILE.csv \
+         [--complete FILE.csv] [--budget N] [--latency N] [--alpha F] \
+         [--strategy fbs|ubs|hhs] [--m N] [--worker-accuracy F] [--seed N]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        mode: String::new(),
+        data: None,
+        complete: None,
+        budget: 50,
+        latency: 5,
+        alpha: 0.01,
+        strategy: "hhs".into(),
+        m: 15,
+        worker_accuracy: 1.0,
+        seed: 42,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = argv[i].as_str();
+        let value = |args_i: &mut usize| -> String {
+            *args_i += 1;
+            argv.get(*args_i).cloned().unwrap_or_else(|| usage())
+        };
+        match a {
+            "machine" | "simulate" => args.mode = a.to_string(),
+            "--data" => args.data = Some(value(&mut i)),
+            "--complete" => args.complete = Some(value(&mut i)),
+            "--budget" => args.budget = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--latency" => args.latency = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--alpha" => args.alpha = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--strategy" => args.strategy = value(&mut i),
+            "--m" => args.m = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--worker-accuracy" => {
+                args.worker_accuracy = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if args.mode.is_empty() || args.data.is_none() {
+        usage();
+    }
+    args
+}
+
+fn load(path: &str) -> Dataset {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    parse_csv(path, &text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        exit(1);
+    })
+}
+
+fn main() {
+    let args = parse_args();
+    let data = load(args.data.as_deref().expect("checked in parse_args"));
+    eprintln!(
+        "loaded {}: {} objects × {} attributes, missing rate {:.1}%",
+        data.name(),
+        data.n_objects(),
+        data.n_attrs(),
+        data.missing_rate() * 100.0
+    );
+
+    let strategy = match args.strategy.as_str() {
+        "fbs" => TaskStrategy::Fbs,
+        "ubs" => TaskStrategy::Ubs,
+        "hhs" => TaskStrategy::Hhs { m: args.m },
+        _ => usage(),
+    };
+    let config = BayesCrowdConfig {
+        budget: args.budget,
+        latency: args.latency,
+        alpha: args.alpha,
+        strategy,
+        parallel: true,
+        ..Default::default()
+    };
+
+    match args.mode.as_str() {
+        "machine" => {
+            let (answers, ctable) = machine_only_answers(&data, &config);
+            println!("answers ({} objects):", answers.len());
+            for o in &answers {
+                println!("  {o}");
+            }
+            println!("c-table: {}", bc_ctable::CTableStats::of(&ctable));
+        }
+        "simulate" => {
+            let Some(complete_path) = args.complete.as_deref() else {
+                eprintln!("simulate mode needs --complete FILE.csv (the hidden truth)");
+                exit(2);
+            };
+            let complete = load(complete_path);
+            let oracle = GroundTruthOracle::new(complete);
+            let mut platform = SimulatedPlatform::new(oracle, args.worker_accuracy, args.seed);
+            let report = BayesCrowd::new(config).run(&data, &mut platform);
+            println!("answers ({} objects):", report.result.len());
+            for o in &report.result {
+                println!("  {o}");
+            }
+            println!("{}", report.summary());
+            if let Some(acc) = report.accuracy {
+                println!(
+                    "precision {:.3}  recall {:.3}  F1 {:.3}",
+                    acc.precision, acc.recall, acc.f1
+                );
+            }
+        }
+        _ => usage(),
+    }
+}

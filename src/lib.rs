@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+//! Umbrella crate re-exporting the BayesCrowd reproduction workspace.
+//!
+//! See the individual crates for the substance:
+//! [`bc_data`], [`bc_bayes`], [`bc_ctable`], [`bc_solver`], [`bc_crowd`],
+//! [`bayescrowd`], and [`crowdsky`].
+
+pub use bayescrowd;
+pub use bc_bayes;
+pub use bc_crowd;
+pub use bc_ctable;
+pub use bc_data;
+pub use bc_solver;
+pub use crowdimpute;
+pub use crowdsky;
+

@@ -1,0 +1,89 @@
+//! Property tests for the two baseline systems.
+
+use bc_crowd::unary::{median_vote, UnaryTask};
+use bc_crowd::GroundTruthOracle;
+use bc_data::domain::uniform_domains;
+use bc_data::{Dataset, Value};
+use crowdimpute::{CrowdImpute, CrowdImputeConfig};
+use proptest::prelude::*;
+
+fn complete_dataset(rows: Vec<Vec<Value>>) -> Dataset {
+    let d = rows[0].len();
+    Dataset::from_complete_rows("t", uniform_domains(d, 8).unwrap(), rows).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The median lies between the min and max estimate and equals the
+    /// unique majority value when one exists.
+    #[test]
+    fn median_vote_properties(estimates in prop::collection::vec(0u16..8, 1..9)) {
+        let m = median_vote(&estimates);
+        let lo = *estimates.iter().min().unwrap();
+        let hi = *estimates.iter().max().unwrap();
+        prop_assert!(m >= lo && m <= hi);
+        // Strict-majority value wins.
+        let mut counts = [0usize; 8];
+        for &e in &estimates {
+            counts[e as usize] += 1;
+        }
+        if let Some((v, _)) = counts
+            .iter()
+            .enumerate()
+            .find(|&(_, &c)| 2 * c > estimates.len())
+        {
+            prop_assert_eq!(m as usize, v);
+        }
+    }
+
+    /// With perfect workers CrowdImpute's task count is exactly
+    /// min(budget, #missing), independently of everything else; and with a
+    /// full budget its result is exactly the true skyline.
+    #[test]
+    fn crowdimpute_cost_and_exactness(
+        rows in prop::collection::vec(prop::collection::vec(0u16..8, 3), 3..24),
+        hide in prop::collection::vec(any::<bool>(), 3 * 24),
+        budget in 0usize..30,
+    ) {
+        let complete = complete_dataset(rows.clone());
+        let mut incomplete = complete.clone();
+        let mut n_missing = 0;
+        for (i, &h) in hide.iter().take(rows.len() * 3).enumerate() {
+            // Keep at least one observed value per column so mode imputation
+            // is well-defined.
+            let (o, a) = (i / 3, i % 3);
+            if h && o > 0 {
+                incomplete
+                    .set(bc_data::ObjectId(o as u32), bc_data::AttrId(a as u16), None)
+                    .unwrap();
+                n_missing += 1;
+            }
+        }
+        let oracle = GroundTruthOracle::new(complete.clone());
+
+        let capped = CrowdImpute::new(CrowdImputeConfig {
+            budget: Some(budget),
+            ..Default::default()
+        })
+        .run(&incomplete, &oracle);
+        prop_assert_eq!(capped.tasks_posted, budget.min(n_missing));
+        prop_assert_eq!(capped.machine_imputed, n_missing - capped.tasks_posted);
+
+        let full = CrowdImpute::default().run(&incomplete, &oracle);
+        prop_assert_eq!(full.tasks_posted, n_missing);
+        prop_assert_eq!(
+            full.result,
+            bc_data::skyline::skyline_bnl(&complete).unwrap()
+        );
+    }
+
+    /// Unary question text always names the variable.
+    #[test]
+    fn unary_question_mentions_the_variable(o in 0u32..100, a in 0u16..12) {
+        let t = UnaryTask { var: bc_data::VarId::new(o, a) };
+        let q = t.question();
+        let expected = format!("Var(o{}, a{})", o, a);
+        prop_assert!(q.contains(&expected));
+    }
+}

@@ -1,0 +1,103 @@
+//! End-to-end tests of the `bayescrowd-cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bayescrowd-cli"))
+}
+
+const INCOMPLETE: &str = "a1:10,a2:10,a3:8,a4:6,a5:10
+5,2,3,4,1
+6,?,2,2,2
+1,1,?,5,3
+4,3,1,2,1
+5,?,?,?,1
+";
+
+const COMPLETE: &str = "a1:10,a2:10,a3:8,a4:6,a5:10
+5,2,3,4,1
+6,4,2,2,2
+1,1,4,5,3
+4,3,1,2,1
+5,4,3,2,1
+";
+
+fn write_temp(name: &str, text: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("bayescrowd-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    std::fs::write(&path, text).expect("write temp csv");
+    path
+}
+
+#[test]
+fn machine_mode_reports_answers_and_stats() {
+    let data = write_temp("m_inc.csv", INCOMPLETE);
+    let out = cli()
+        .args(["machine", "--data", data.to_str().unwrap(), "--alpha", "1.0"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("answers"), "{stdout}");
+    assert!(stdout.contains("o1"), "certain answer o1 missing: {stdout}");
+    assert!(stdout.contains("c-table: true=2"), "{stdout}");
+}
+
+#[test]
+fn simulate_mode_reaches_perfect_f1_on_the_sample() {
+    let data = write_temp("s_inc.csv", INCOMPLETE);
+    let complete = write_temp("s_com.csv", COMPLETE);
+    let out = cli()
+        .args([
+            "simulate",
+            "--data",
+            data.to_str().unwrap(),
+            "--complete",
+            complete.to_str().unwrap(),
+            "--alpha",
+            "1.0",
+            "--budget",
+            "20",
+            "--latency",
+            "10",
+            "--strategy",
+            "hhs",
+            "--m",
+            "2",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("F1 1.000"), "{stdout}");
+}
+
+#[test]
+fn simulate_without_truth_fails_cleanly() {
+    let data = write_temp("t_inc.csv", INCOMPLETE);
+    let out = cli()
+        .args(["simulate", "--data", data.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--complete"), "{stderr}");
+}
+
+#[test]
+fn bad_arguments_exit_with_usage() {
+    let out = cli().args(["frobnicate"]).output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage:"), "{stderr}");
+}
+
+#[test]
+fn unreadable_file_exits_with_error() {
+    let out = cli()
+        .args(["machine", "--data", "/definitely/not/here.csv"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1));
+}

@@ -1,0 +1,167 @@
+//! Property tests of the c-table's semantics.
+//!
+//! The defining property of a c-table for a skyline query: for any
+//! completion of the missing values, evaluating `φ(o)` under that completion
+//! tells whether `o` is a skyline object of the completed dataset.
+//!
+//! The paper's CNF encoding ignores the exact-tie corner case (an object
+//! tied with a potential dominator on every attribute), so the tests
+//! generate *tie-free* data — every attribute is a permutation of `0..n` —
+//! where the equivalence is exact. Soundness (a true condition implies
+//! skyline membership... and vice versa) then holds in both directions.
+
+use bc_ctable::{build_ctable, CTableConfig, Condition, DominatorStrategy};
+use bc_ctable::dominators::{baseline_dominator_set, DominatorIndex};
+use bc_data::domain::uniform_domains;
+use bc_data::skyline::skyline_bnl;
+use bc_data::{Dataset, VarId};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Builds a tie-free complete dataset: each column is a random permutation
+/// of `0..n`.
+fn permutation_dataset(n: usize, d: usize, seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut cols: Vec<Vec<u16>> = Vec::with_capacity(d);
+    for _ in 0..d {
+        let mut col: Vec<u16> = (0..n as u16).collect();
+        col.shuffle(&mut rng);
+        cols.push(col);
+    }
+    let rows: Vec<Vec<u16>> = (0..n)
+        .map(|i| (0..d).map(|j| cols[j][i]).collect())
+        .collect();
+    Dataset::from_complete_rows("perm", uniform_domains(d, n as u16).unwrap(), rows).unwrap()
+}
+
+/// Deletes `k` pseudo-random cells.
+fn delete_cells(data: &Dataset, k: usize, seed: u64) -> Dataset {
+    let (out, _) = bc_data::missing::inject_mcar(
+        data,
+        k as f64 / (data.n_objects() * data.n_attrs()) as f64,
+        seed,
+    );
+    out
+}
+
+fn no_prune() -> CTableConfig {
+    CTableConfig {
+        alpha: 1.0,
+        strategy: DominatorStrategy::FastIndex,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// φ(o) evaluated under the hidden completion ⟺ o is in the completed
+    /// dataset's skyline (tie-free data, no pruning).
+    #[test]
+    fn conditions_characterize_the_skyline(
+        n in 3usize..24,
+        d in 2usize..5,
+        missing_frac in 0.0f64..0.4,
+        seed in 0u64..5000,
+    ) {
+        let complete = permutation_dataset(n, d, seed);
+        let k = (missing_frac * (n * d) as f64) as usize;
+        let incomplete = delete_cells(&complete, k, seed.wrapping_add(1));
+        let ctable = build_ctable(&incomplete, &no_prune());
+        let truth = skyline_bnl(&complete).unwrap();
+
+        let lookup = |v: VarId| complete.get(v.object, v.attr).unwrap();
+        for o in complete.objects() {
+            let in_skyline = truth.contains(&o);
+            let cond_holds = ctable.condition(o).eval(lookup);
+            prop_assert_eq!(
+                cond_holds,
+                in_skyline,
+                "object {} (condition {}) disagrees with skyline membership {}",
+                o,
+                ctable.condition(o),
+                in_skyline
+            );
+        }
+    }
+
+    /// The fast dominator index agrees with the pairwise baseline on
+    /// arbitrary (even tie-ful) data.
+    #[test]
+    fn dominator_index_matches_baseline(
+        n in 2usize..30,
+        d in 1usize..5,
+        card in 2u16..8,
+        missing_frac in 0.0f64..0.5,
+        seed in 0u64..5000,
+    ) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let rows: Vec<Vec<Option<u16>>> = (0..n)
+            .map(|_| {
+                (0..d)
+                    .map(|_| {
+                        if rng.gen_bool(missing_frac) {
+                            None
+                        } else {
+                            Some(rng.gen_range(0..card))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let data = Dataset::from_rows("r", uniform_domains(d, card).unwrap(), rows).unwrap();
+        let idx = DominatorIndex::build(&data);
+        for o in data.objects() {
+            prop_assert_eq!(
+                idx.dominator_set(&data, o),
+                baseline_dominator_set(&data, o),
+                "mismatch at object {}", o
+            );
+        }
+    }
+
+    /// On complete tie-free data the c-table is fully decided and the true
+    /// conditions are exactly the skyline.
+    #[test]
+    fn complete_data_needs_no_crowd(
+        n in 2usize..30,
+        d in 2usize..5,
+        seed in 0u64..5000,
+    ) {
+        let complete = permutation_dataset(n, d, seed);
+        let ctable = build_ctable(&complete, &no_prune());
+        let truth = skyline_bnl(&complete).unwrap();
+        for o in complete.objects() {
+            prop_assert!(ctable.condition(o).is_decided());
+            prop_assert_eq!(
+                *ctable.condition(o) == Condition::True,
+                truth.contains(&o)
+            );
+        }
+    }
+
+    /// α-pruning only ever turns conditions into `false` (it never
+    /// fabricates answers), so the answer set shrinks monotonically with
+    /// smaller α.
+    #[test]
+    fn alpha_pruning_is_sound(
+        n in 4usize..24,
+        d in 2usize..4,
+        seed in 0u64..5000,
+    ) {
+        let complete = permutation_dataset(n, d, seed);
+        let incomplete = delete_cells(&complete, n / 2, seed.wrapping_add(3));
+        let full = build_ctable(&incomplete, &no_prune());
+        let pruned = build_ctable(
+            &incomplete,
+            &CTableConfig { alpha: 0.2, strategy: DominatorStrategy::FastIndex },
+        );
+        for o in incomplete.objects() {
+            match pruned.condition(o) {
+                Condition::False => {} // may be pruned
+                c => prop_assert_eq!(c, full.condition(o), "object {}", o),
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests on the data substrate: the two skyline algorithms agree,
+//! injection accounting is exact, and pmf operations obey probability laws.
+
+use bc_bayes::Pmf;
+use bc_data::domain::uniform_domains;
+use bc_data::missing::inject_mcar;
+use bc_data::skyline::{dominates, skyline_bnl, skyline_sfs};
+use bc_data::{Accuracy, Dataset, ObjectId};
+use proptest::prelude::*;
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (2usize..40, 1usize..5, 2u16..10).prop_flat_map(|(n, d, card)| {
+        prop::collection::vec(prop::collection::vec(0..card, d), n).prop_map(move |rows| {
+            Dataset::from_complete_rows("p", uniform_domains(d, card).unwrap(), rows).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bnl_and_sfs_skylines_agree(data in arb_dataset()) {
+        prop_assert_eq!(skyline_bnl(&data).unwrap(), skyline_sfs(&data).unwrap());
+    }
+
+    #[test]
+    fn skyline_objects_are_mutually_incomparable(data in arb_dataset()) {
+        let sky = skyline_bnl(&data).unwrap();
+        prop_assert!(!sky.is_empty(), "a non-empty dataset has a skyline");
+        for &a in &sky {
+            for &b in &sky {
+                if a != b {
+                    let ra: Vec<u16> = data.row(a).iter().map(|c| c.unwrap()).collect();
+                    let rb: Vec<u16> = data.row(b).iter().map(|c| c.unwrap()).collect();
+                    prop_assert!(!dominates(&ra, &rb), "{a} dominates {b} inside the skyline");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_non_skyline_object_has_a_dominator(data in arb_dataset()) {
+        let sky = skyline_bnl(&data).unwrap();
+        for o in data.objects() {
+            if !sky.contains(&o) {
+                let ro: Vec<u16> = data.row(o).iter().map(|c| c.unwrap()).collect();
+                let dominated = data.objects().any(|p| {
+                    if p == o { return false; }
+                    let rp: Vec<u16> = data.row(p).iter().map(|c| c.unwrap()).collect();
+                    dominates(&rp, &ro)
+                });
+                prop_assert!(dominated, "{o} excluded without a dominator");
+            }
+        }
+    }
+
+    #[test]
+    fn mcar_injection_hits_the_exact_count(
+        data in arb_dataset(),
+        rate in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let (inc, deleted) = inject_mcar(&data, rate, seed);
+        let expected = (rate * (data.n_objects() * data.n_attrs()) as f64).round() as usize;
+        prop_assert_eq!(inc.n_missing(), expected);
+        prop_assert_eq!(deleted.len(), expected);
+        // Deleted cells existed before and are unique.
+        let mut sorted = deleted.clone();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), deleted.len());
+        for v in &deleted {
+            prop_assert!(data.get(v.object, v.attr).is_some());
+        }
+    }
+
+    #[test]
+    fn f1_is_symmetric_in_perfect_cases(ids in prop::collection::btree_set(0u32..50, 0..20)) {
+        let v: Vec<ObjectId> = ids.iter().copied().map(ObjectId).collect();
+        let acc = Accuracy::of(&v, &v);
+        prop_assert_eq!(acc.f1, 1.0);
+    }
+
+    #[test]
+    fn pmf_comparison_probabilities_are_consistent(
+        weights in prop::collection::vec(0.01f64..1.0, 2..16),
+        c_raw in 0u16..20,
+    ) {
+        let pmf = Pmf::from_weights(weights);
+        let c = c_raw % pmf.card() as u16;
+        // lt + eq + gt partitions the space.
+        let total = pmf.pr_lt(c) + pmf.p(c) + pmf.pr_gt(c);
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // le/ge consistency.
+        prop_assert!((pmf.pr_le(c) - pmf.pr_lt(c) - pmf.p(c)).abs() < 1e-12);
+        prop_assert!((pmf.pr_ge(c) - pmf.pr_gt(c) - pmf.p(c)).abs() < 1e-12);
+        // Monotonicity of the cdf.
+        if c > 0 {
+            prop_assert!(pmf.pr_lt(c) >= pmf.pr_lt(c - 1) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_conditioning_is_idempotent(
+        weights in prop::collection::vec(0.01f64..1.0, 2..10),
+        mask in 1u64..1023,
+    ) {
+        let pmf = Pmf::from_weights(weights);
+        if let Some(once) = pmf.conditioned(mask) {
+            let twice = once.conditioned(mask).unwrap();
+            for v in 0..pmf.card() as u16 {
+                prop_assert!((once.p(v) - twice.p(v)).abs() < 1e-12);
+            }
+            // All mass inside the mask.
+            for v in pmf.card() as u16..64 {
+                prop_assert_eq!(once.p(v), 0.0);
+            }
+            let inside: f64 = once
+                .support()
+                .filter(|&v| mask & (1 << v) != 0)
+                .map(|v| once.p(v))
+                .sum();
+            prop_assert!((inside - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pmf_entropy_bounds(weights in prop::collection::vec(0.01f64..1.0, 1..32)) {
+        let pmf = Pmf::from_weights(weights);
+        let h = pmf.entropy();
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (pmf.card() as f64).log2() + 1e-12);
+    }
+}

@@ -1,0 +1,158 @@
+//! Cross-crate end-to-end properties of the full query pipeline.
+
+use bayescrowd::{BayesCrowd, BayesCrowdConfig, TaskStrategy};
+use bc_crowd::{GroundTruthOracle, SimulatedPlatform};
+use bc_data::domain::uniform_domains;
+use bc_data::skyline::skyline_bnl;
+use bc_data::{AttrId, Dataset};
+use crowdsky::{CrowdSky, CrowdSkyConfig};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Tie-free complete dataset (columns are permutations) — see
+/// `ctable_semantics.rs` for why ties are excluded.
+fn permutation_dataset(n: usize, d: usize, seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut cols: Vec<Vec<u16>> = Vec::with_capacity(d);
+    for _ in 0..d {
+        let mut col: Vec<u16> = (0..n as u16).collect();
+        col.shuffle(&mut rng);
+        cols.push(col);
+    }
+    let rows: Vec<Vec<u16>> = (0..n)
+        .map(|i| (0..d).map(|j| cols[j][i]).collect())
+        .collect();
+    Dataset::from_complete_rows("perm", uniform_domains(d, n as u16).unwrap(), rows).unwrap()
+}
+
+fn ample_config(strategy: TaskStrategy) -> BayesCrowdConfig {
+    BayesCrowdConfig {
+        budget: 100_000,
+        latency: 10_000,
+        alpha: 1.0, // no pruning: exactness requires it
+        strategy,
+        ..Default::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With perfect workers, no pruning, tie-free data, and an ample budget,
+    /// BayesCrowd computes the exact skyline — for every strategy.
+    #[test]
+    fn perfect_crowd_recovers_the_exact_skyline(
+        n in 3usize..16,
+        d in 2usize..4,
+        missing_frac in 0.05f64..0.4,
+        seed in 0u64..3000,
+    ) {
+        let complete = permutation_dataset(n, d, seed);
+        let (incomplete, _) =
+            bc_data::missing::inject_mcar(&complete, missing_frac, seed.wrapping_add(1));
+        let truth = skyline_bnl(&complete).unwrap();
+        for strategy in [TaskStrategy::Fbs, TaskStrategy::Hhs { m: 5 }] {
+            let oracle = GroundTruthOracle::new(complete.clone());
+            let mut platform = SimulatedPlatform::new(oracle, 1.0, seed);
+            let report =
+                BayesCrowd::new(ample_config(strategy)).run(&incomplete, &mut platform);
+            prop_assert_eq!(
+                &report.result, &truth,
+                "strategy {:?}, seed {}: {}", strategy, seed, report.summary()
+            );
+            prop_assert_eq!(report.open_exprs_left, 0);
+            prop_assert_eq!(report.accuracy.unwrap().f1, 1.0);
+        }
+    }
+
+    /// Budget and latency constraints are always respected, regardless of
+    /// workload, strategy, or noise.
+    #[test]
+    fn budget_and_latency_are_hard_constraints(
+        n in 4usize..16,
+        d in 2usize..4,
+        budget in 1usize..12,
+        latency in 1usize..6,
+        accuracy in 0.5f64..1.0,
+        seed in 0u64..3000,
+    ) {
+        let complete = permutation_dataset(n, d, seed);
+        let (incomplete, _) =
+            bc_data::missing::inject_mcar(&complete, 0.3, seed.wrapping_add(1));
+        let config = BayesCrowdConfig {
+            budget,
+            latency,
+            alpha: 1.0,
+            strategy: TaskStrategy::Fbs,
+            ..Default::default()
+        };
+        let oracle = GroundTruthOracle::new(complete);
+        let mut platform = SimulatedPlatform::new(oracle, accuracy, seed);
+        let report = BayesCrowd::new(config).run(&incomplete, &mut platform);
+        prop_assert!(report.crowd.tasks_posted <= budget);
+        prop_assert!(report.crowd.rounds <= latency);
+        // Majority voting with 3 workers per task.
+        prop_assert_eq!(report.crowd.worker_answers, report.crowd.tasks_posted * 3);
+    }
+
+    /// CrowdSky with perfect workers also recovers the exact skyline on the
+    /// observed/crowd split (on tiny instances its task count can even beat
+    /// BayesCrowd's, so the cost comparison is a separate scale test below).
+    #[test]
+    fn crowdsky_is_exact_with_perfect_workers(
+        n in 4usize..14,
+        seed in 0u64..3000,
+    ) {
+        let d = 4;
+        let complete = permutation_dataset(n, d, seed);
+        let masked = bc_data::missing::mask_attributes(
+            &complete,
+            &[AttrId(d as u16 - 1)],
+        );
+        let truth = skyline_bnl(&complete).unwrap();
+
+        let oracle = GroundTruthOracle::new(complete.clone());
+        let mut platform = SimulatedPlatform::new(oracle, 1.0, seed);
+        let cs = CrowdSky::new(CrowdSkyConfig { round_size: 5 })
+            .run(&masked, &mut platform);
+        prop_assert_eq!(&cs.result, &truth, "CrowdSky wrong at seed {}", seed);
+
+        let oracle = GroundTruthOracle::new(complete.clone());
+        let mut platform = SimulatedPlatform::new(oracle, 1.0, seed);
+        let bc = BayesCrowd::new(ample_config(TaskStrategy::Fbs))
+            .run(&masked, &mut platform);
+        prop_assert_eq!(&bc.result, &truth, "BayesCrowd wrong at seed {}", seed);
+    }
+
+    /// The returned answer set is always sound with respect to what the
+    /// machine can know: certain answers are actual skyline objects whenever
+    /// workers are perfect.
+    #[test]
+    fn certain_answers_are_sound_with_perfect_workers(
+        n in 3usize..16,
+        d in 2usize..4,
+        seed in 0u64..3000,
+    ) {
+        let complete = permutation_dataset(n, d, seed);
+        let (incomplete, _) =
+            bc_data::missing::inject_mcar(&complete, 0.25, seed.wrapping_add(1));
+        let truth = skyline_bnl(&complete).unwrap();
+        let config = BayesCrowdConfig {
+            budget: 6,
+            latency: 3,
+            alpha: 1.0,
+            strategy: TaskStrategy::Hhs { m: 3 },
+            ..Default::default()
+        };
+        let oracle = GroundTruthOracle::new(complete);
+        let mut platform = SimulatedPlatform::new(oracle, 1.0, seed);
+        let report = BayesCrowd::new(config).run(&incomplete, &mut platform);
+        for o in &report.certain {
+            prop_assert!(
+                truth.contains(o),
+                "object {} reported certain but not in the skyline", o
+            );
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Integration test: the paper's running example, cross-crate.
+//!
+//! Covers Table 1 (sample data), Table 3 (c-table), Table 4 (dominator
+//! sets), Example 3 (Pr(φ(o5)) = 0.823), Table 5 (the c-table update), and
+//! Example 4's final outcome.
+
+use bayescrowd::{BayesCrowd, BayesCrowdConfig, TaskStrategy};
+use bc_bayes::Pmf;
+use bc_crowd::{GroundTruthOracle, SimulatedPlatform};
+use bc_ctable::dominators::DominatorIndex;
+use bc_ctable::{build_ctable, CTableConfig, Condition, DominatorStrategy};
+use bc_data::generators::sample::{paper_completion, paper_dataset};
+use bc_data::{ObjectId, VarId};
+use bc_solver::{AdpllSolver, NaiveSolver, Solver, VarDists};
+
+fn sample_ctable() -> bc_ctable::CTable {
+    build_ctable(
+        &paper_dataset(),
+        &CTableConfig {
+            alpha: 1.0,
+            strategy: DominatorStrategy::FastIndex,
+        },
+    )
+}
+
+/// Example 3's hand-specified distributions: a2 uniform over 0..=9, a3
+/// uniform over 0..=7, a4 with weights (.1, .1, .2, .2, .3, .1).
+fn example3_dists() -> VarDists {
+    let a2 = Pmf::uniform(10);
+    let a3 = Pmf::uniform(8);
+    let a4 = Pmf::from_weights(vec![0.1, 0.1, 0.2, 0.2, 0.3, 0.1]);
+    [
+        (VarId::new(1, 1), a2.clone()), // Var(o2, a2)
+        (VarId::new(2, 2), a3.clone()), // Var(o3, a3)
+        (VarId::new(4, 1), a2),         // Var(o5, a2)
+        (VarId::new(4, 2), a3),         // Var(o5, a3)
+        (VarId::new(4, 3), a4),         // Var(o5, a4)
+    ]
+    .into_iter()
+    .collect()
+}
+
+#[test]
+fn table_4_dominator_sets() {
+    let data = paper_dataset();
+    let idx = DominatorIndex::build(&data);
+    let sets: Vec<Vec<usize>> = data
+        .objects()
+        .map(|o| idx.dominator_set(&data, o).iter().collect())
+        .collect();
+    assert_eq!(sets, vec![vec![4], vec![], vec![], vec![1, 4], vec![0, 1]]);
+}
+
+#[test]
+fn table_3_conditions_are_generated() {
+    let ct = sample_ctable();
+    assert_eq!(*ct.condition(ObjectId(1)), Condition::True);
+    assert_eq!(*ct.condition(ObjectId(2)), Condition::True);
+    assert_eq!(ct.condition(ObjectId(0)).clauses().len(), 1);
+    assert_eq!(ct.condition(ObjectId(0)).n_exprs(), 3);
+    assert_eq!(ct.condition(ObjectId(3)).clauses().len(), 2);
+    assert_eq!(ct.condition(ObjectId(3)).n_exprs(), 4);
+    assert_eq!(ct.condition(ObjectId(4)).clauses().len(), 2);
+    assert_eq!(ct.condition(ObjectId(4)).n_exprs(), 6);
+}
+
+/// Example 3: the probability of φ(o5) under the example distributions is
+/// 0.823, and ADPLL computes it exactly (so does Naive).
+#[test]
+fn example_3_probability_of_o5() {
+    let ct = sample_ctable();
+    let dists = example3_dists();
+    let cond = ct.condition(ObjectId(4));
+    let adpll = AdpllSolver::new().probability(cond, &dists).unwrap();
+    let naive = NaiveSolver::new().probability(cond, &dists).unwrap();
+    assert!((adpll - 0.823).abs() < 1e-9, "ADPLL got {adpll}");
+    assert!((naive - 0.823).abs() < 1e-9, "Naive got {naive}");
+}
+
+/// Example 4 (first iteration): the entropies of the three open objects are
+/// roughly H(o1)=0.72, H(o4)=0.62, H(o5)=0.67 under the example
+/// distributions, so o1 and o5 are selected.
+#[test]
+fn example_4_entropy_ranking() {
+    let ct = sample_ctable();
+    let dists = example3_dists();
+    let solver = AdpllSolver::new();
+    let h = |o: u32| {
+        let p = solver.probability(ct.condition(ObjectId(o)), &dists).unwrap();
+        bc_solver::utility::object_entropy(p)
+    };
+    let (h1, h4, h5) = (h(0), h(3), h(4));
+    assert!((h1 - 0.72).abs() < 0.02, "H(o1) = {h1}");
+    assert!((h4 - 0.62).abs() < 0.02, "H(o4) = {h4}");
+    assert!((h5 - 0.67).abs() < 0.02, "H(o5) = {h5}");
+    assert!(h1 > h5 && h5 > h4, "selection order must be o1, o5, o4");
+}
+
+/// The end-to-end run with ample budget returns exactly the completion's
+/// skyline {o1, o2, o3, o5} with zero remaining uncertainty.
+#[test]
+fn example_4_final_outcome() {
+    let data = paper_dataset();
+    let oracle = GroundTruthOracle::new(paper_completion());
+    let mut platform = SimulatedPlatform::new(oracle, 1.0, 123);
+    let config = BayesCrowdConfig {
+        budget: 30,
+        latency: 15,
+        alpha: 1.0,
+        strategy: TaskStrategy::Hhs { m: 2 },
+        ..Default::default()
+    };
+    let report = BayesCrowd::new(config).run(&data, &mut platform);
+    assert_eq!(
+        report.result,
+        vec![ObjectId(0), ObjectId(1), ObjectId(2), ObjectId(4)]
+    );
+    assert_eq!(report.open_exprs_left, 0);
+    assert_eq!(report.accuracy.unwrap().f1, 1.0);
+    // The crowd was needed: at least the paper's four decisive tasks.
+    assert!(report.crowd.tasks_posted >= 4);
+}
+
+/// All three strategies find the same answer here, differing only in cost.
+#[test]
+fn strategies_agree_on_the_sample_outcome() {
+    for strategy in [
+        TaskStrategy::Fbs,
+        TaskStrategy::Ubs,
+        TaskStrategy::Hhs { m: 2 },
+    ] {
+        let data = paper_dataset();
+        let oracle = GroundTruthOracle::new(paper_completion());
+        let mut platform = SimulatedPlatform::new(oracle, 1.0, 321);
+        let config = BayesCrowdConfig {
+            budget: 30,
+            latency: 15,
+            alpha: 1.0,
+            strategy,
+            ..Default::default()
+        };
+        let report = BayesCrowd::new(config).run(&data, &mut platform);
+        assert_eq!(
+            report.result,
+            vec![ObjectId(0), ObjectId(1), ObjectId(2), ObjectId(4)],
+            "strategy {strategy:?}"
+        );
+    }
+}

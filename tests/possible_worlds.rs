@@ -1,0 +1,188 @@
+//! Possible-world semantics: `Pr(φ(o))` under uniform priors must equal the
+//! fraction of completions (possible worlds) in which `o` is a skyline
+//! object — on tie-free domains, where the paper's CNF encoding is exact.
+
+use bc_ctable::{build_ctable, CTableConfig, DominatorStrategy};
+use bc_data::domain::uniform_domains;
+use bc_data::skyline::skyline_bnl;
+use bc_data::{Dataset, ObjectId, VarId};
+use bc_bayes::Pmf;
+use bc_solver::{AdpllSolver, Solver, VarDists};
+use proptest::prelude::*;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A small tie-free dataset with missing cells: columns are permutations of
+/// `0..n`, and each deleted cell may be refilled with any domain value.
+/// To keep worlds tie-free we only delete at most one cell per column and
+/// re-enumerate worlds over the *original column values* ∪ nothing-else —
+/// instead, simpler: we enumerate worlds over all domain values but skip
+/// worlds that contain a within-column tie.
+fn permutation_dataset(n: usize, d: usize, seed: u64) -> Dataset {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut cols: Vec<Vec<u16>> = Vec::with_capacity(d);
+    for _ in 0..d {
+        let mut col: Vec<u16> = (0..n as u16).collect();
+        col.shuffle(&mut rng);
+        cols.push(col);
+    }
+    let rows: Vec<Vec<u16>> = (0..n)
+        .map(|i| (0..d).map(|j| cols[j][i]).collect())
+        .collect();
+    Dataset::from_complete_rows("perm", uniform_domains(d, n as u16).unwrap(), rows).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For every object: Pr(φ(o)) under uniform pmfs == (weighted) fraction
+    /// of possible worlds where o is in the skyline, restricted to worlds
+    /// without within-column ties (each such world is equally likely under
+    /// the uniform prior, and the excluded tie worlds are exactly where the
+    /// paper's CNF approximates).
+    #[test]
+    fn probability_equals_possible_world_frequency(
+        n in 3usize..7,
+        d in 2usize..4,
+        n_missing in 1usize..4,
+        seed in 0u64..2000,
+    ) {
+        let complete = permutation_dataset(n, d, seed);
+        // Delete up to n_missing cells.
+        let total = n * d;
+        let mut incomplete = complete.clone();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(9));
+        let mut cells: Vec<usize> = (0..total).collect();
+        cells.shuffle(&mut rng);
+        for &c in cells.iter().take(n_missing) {
+            incomplete
+                .set(ObjectId((c / d) as u32), bc_data::AttrId((c % d) as u16), None)
+                .unwrap();
+        }
+        let missing = incomplete.missing_vars();
+        prop_assume!(!missing.is_empty());
+        // Keep the world count tractable.
+        prop_assume!(missing.len() <= 3 && n.pow(missing.len() as u32) <= 400);
+
+        let ctable = build_ctable(
+            &incomplete,
+            &CTableConfig { alpha: 1.0, strategy: DominatorStrategy::FastIndex },
+        );
+        let dists: VarDists = missing
+            .iter()
+            .map(|&v| (v, Pmf::uniform(n)))
+            .collect();
+        let solver = AdpllSolver::new();
+
+        // Enumerate worlds: assignments of missing cells over 0..n.
+        let mut world = complete.clone();
+        let mut sky_count = vec![0usize; n];
+        let mut phi_count = vec![0usize; n];
+        let mut n_worlds = 0usize;
+        let mut idxs = vec![0u16; missing.len()];
+        loop {
+            for (slot, &var) in missing.iter().enumerate() {
+                world.set(var.object, var.attr, Some(idxs[slot])).unwrap();
+            }
+            // Skip tie worlds (within-column duplicates).
+            let tie = incomplete.attrs().any(|a| {
+                let mut seen = vec![false; n];
+                world.objects().any(|o| {
+                    let v = world.get(o, a).unwrap() as usize;
+                    std::mem::replace(&mut seen[v], true)
+                })
+            });
+            if !tie {
+                n_worlds += 1;
+                let sky = skyline_bnl(&world).unwrap();
+                for &o in &sky {
+                    sky_count[o.index()] += 1;
+                }
+                let lookup = |v: VarId| world.get(v.object, v.attr).unwrap();
+                for o in world.objects() {
+                    if ctable.condition(o).eval(lookup) {
+                        phi_count[o.index()] += 1;
+                    }
+                }
+            }
+            // Odometer over missing-cell values.
+            let mut k = missing.len();
+            loop {
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+                idxs[k] += 1;
+                if (idxs[k] as usize) < n {
+                    break;
+                }
+                idxs[k] = 0;
+                if k == 0 {
+                    break;
+                }
+            }
+            if idxs.iter().all(|&i| i == 0) {
+                break;
+            }
+        }
+        prop_assume!(n_worlds > 0);
+
+        for o in incomplete.objects() {
+            // φ(o) evaluated per world agrees with skyline membership
+            // (tie-free worlds only).
+            prop_assert_eq!(
+                phi_count[o.index()], sky_count[o.index()],
+                "object {} world counts differ", o
+            );
+        }
+
+        // And ADPLL's probability matches the frequency over ALL worlds
+        // (including tie worlds): the solver integrates the CNF over the
+        // uniform prior, so compare against φ's own satisfaction frequency
+        // computed over every assignment, not just tie-free ones.
+        let mut phi_all = vec![0usize; n];
+        let mut all_worlds = 0usize;
+        let mut idxs = vec![0u16; missing.len()];
+        loop {
+            for (slot, &var) in missing.iter().enumerate() {
+                world.set(var.object, var.attr, Some(idxs[slot])).unwrap();
+            }
+            all_worlds += 1;
+            let lookup = |v: VarId| world.get(v.object, v.attr).unwrap();
+            for o in world.objects() {
+                if ctable.condition(o).eval(lookup) {
+                    phi_all[o.index()] += 1;
+                }
+            }
+            let mut k = missing.len();
+            loop {
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+                idxs[k] += 1;
+                if (idxs[k] as usize) < n {
+                    break;
+                }
+                idxs[k] = 0;
+                if k == 0 {
+                    break;
+                }
+            }
+            if idxs.iter().all(|&i| i == 0) {
+                break;
+            }
+        }
+        for o in incomplete.objects() {
+            let p = solver
+                .probability(ctable.condition(o), &dists)
+                .unwrap();
+            let freq = phi_all[o.index()] as f64 / all_worlds as f64;
+            prop_assert!(
+                (p - freq).abs() < 1e-9,
+                "object {}: ADPLL {} vs world frequency {}",
+                o, p, freq
+            );
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the preprocessing extensions: discretization,
+//! preference-direction normalization, and EM invariants.
+
+use bc_bayes::discretize::{discretize_rows, Binning, ColumnBins};
+use bc_bayes::em::{em_fit, EmConfig};
+use bc_bayes::{Dag, Pmf};
+use bc_data::preference::{normalize_directions, Direction};
+use bc_data::skyline::skyline_bnl;
+use bc_data::{domain::uniform_domains, Dataset, ObjectId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Binning preserves order: `x <= y` implies `bin(x) <= bin(y)`.
+    #[test]
+    fn binning_is_monotone(
+        mut values in prop::collection::vec(-1e6f64..1e6, 2..60),
+        bins in 1u16..16,
+        equidepth in any::<bool>(),
+    ) {
+        let binning = if equidepth { Binning::EquiDepth } else { Binning::EquiWidth };
+        let fitted = ColumnBins::fit(values.iter().copied(), bins, binning);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for pair in values.windows(2) {
+            prop_assert!(fitted.bin(pair[0]) <= fitted.bin(pair[1]));
+        }
+        for &v in &values {
+            prop_assert!((fitted.bin(v) as usize) < fitted.n_bins());
+        }
+    }
+
+    /// Discretizing a table keeps every observed cell inside its domain and
+    /// missing cells missing.
+    #[test]
+    fn discretize_rows_shape(
+        raw in prop::collection::vec(
+            prop::collection::vec(prop::option::of(-100f64..100.0), 3),
+            2..20,
+        ),
+        bins in 1u16..10,
+    ) {
+        // Ensure every column has at least one observed value.
+        prop_assume!((0..3).all(|a| raw.iter().any(|r| r[a].is_some())));
+        let ds = discretize_rows("t", &raw, bins, Binning::EquiWidth).unwrap();
+        prop_assert_eq!(ds.n_objects(), raw.len());
+        for (i, row) in raw.iter().enumerate() {
+            for (a, cell) in row.iter().enumerate() {
+                let got = ds.get(ObjectId(i as u32), bc_data::AttrId(a as u16));
+                prop_assert_eq!(got.is_some(), cell.is_some());
+                if let Some(v) = got {
+                    prop_assert!(v < bins);
+                }
+            }
+        }
+    }
+
+    /// The skyline of the direction-normalized dataset equals the skyline
+    /// computed with an explicitly direction-aware dominance test.
+    #[test]
+    fn direction_normalization_preserves_the_skyline(
+        rows in prop::collection::vec(prop::collection::vec(0u16..8, 3), 2..16),
+        dirs_raw in prop::collection::vec(any::<bool>(), 3),
+    ) {
+        let directions: Vec<Direction> = dirs_raw
+            .iter()
+            .map(|&b| if b { Direction::Maximize } else { Direction::Minimize })
+            .collect();
+        let data = Dataset::from_complete_rows(
+            "t",
+            uniform_domains(3, 8).unwrap(),
+            rows.clone(),
+        )
+        .unwrap();
+        let normalized = normalize_directions(&data, &directions).unwrap();
+        let sky = skyline_bnl(&normalized).unwrap();
+
+        // Direction-aware dominance, straight from the definition.
+        let better = |dir: Direction, a: u16, b: u16| match dir {
+            Direction::Maximize => a > b,
+            Direction::Minimize => a < b,
+        };
+        let not_worse = |dir: Direction, a: u16, b: u16| match dir {
+            Direction::Maximize => a >= b,
+            Direction::Minimize => a <= b,
+        };
+        let dominates = |u: &[u16], v: &[u16]| {
+            directions.iter().enumerate().all(|(i, &d)| not_worse(d, u[i], v[i]))
+                && directions.iter().enumerate().any(|(i, &d)| better(d, u[i], v[i]))
+        };
+        let expected: Vec<ObjectId> = (0..rows.len())
+            .filter(|&i| !rows.iter().enumerate().any(|(j, r)| j != i && dominates(r, &rows[i])))
+            .map(|i| ObjectId(i as u32))
+            .collect();
+        prop_assert_eq!(sky, expected);
+    }
+
+    /// EM always produces proper distributions, for arbitrary missing
+    /// patterns.
+    #[test]
+    fn em_cpts_are_distributions(
+        rows in prop::collection::vec(
+            prop::collection::vec(prop::option::of(0u16..4), 2),
+            0..30,
+        ),
+        iterations in 0usize..4,
+    ) {
+        let dag = Dag::from_edges(2, &[(0, 1)]);
+        let cfg = EmConfig { iterations, ..Default::default() };
+        let bn = em_fit(&dag, &rows, &[4, 4], &cfg);
+        for cpt in bn.cpts() {
+            for cfg_idx in 0..cpt.n_configs() {
+                let pmf: &Pmf = cpt.pmf_at(cfg_idx);
+                let total: f64 = (0..4u16).map(|v| pmf.p(v)).sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}
