@@ -112,7 +112,11 @@ mod tests {
         (0..n)
             .map(|_| {
                 let x0: u16 = rng.gen_range(0..4);
-                let x1 = if rng.gen_bool(0.9) { x0 } else { rng.gen_range(0..4) };
+                let x1 = if rng.gen_bool(0.9) {
+                    x0
+                } else {
+                    rng.gen_range(0..4)
+                };
                 let x2: u16 = rng.gen_range(0..4);
                 vec![x0, x1, x2]
             })

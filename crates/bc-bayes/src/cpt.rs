@@ -1,12 +1,11 @@
 //! Conditional probability tables.
 
 use crate::pmf::Pmf;
-use serde::{Deserialize, Serialize};
 
 /// The conditional distribution `P(node | parents)`: one [`Pmf`] per parent
 /// configuration, indexed mixed-radix with the *first* parent most
 /// significant.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Cpt {
     node: usize,
     parents: Vec<usize>,
@@ -25,9 +24,16 @@ impl Cpt {
     pub fn new(node: usize, parents: Vec<usize>, parent_cards: Vec<usize>, table: Vec<Pmf>) -> Cpt {
         assert_eq!(parents.len(), parent_cards.len());
         let configs: usize = parent_cards.iter().product();
-        assert_eq!(table.len(), configs.max(1), "one pmf per parent configuration");
+        assert_eq!(
+            table.len(),
+            configs.max(1),
+            "one pmf per parent configuration"
+        );
         let card = table[0].card();
-        assert!(table.iter().all(|p| p.card() == card), "inconsistent pmf cardinality");
+        assert!(
+            table.iter().all(|p| p.card() == card),
+            "inconsistent pmf cardinality"
+        );
         Cpt {
             node,
             parents,

@@ -98,8 +98,7 @@ pub fn em_fit(
             .collect();
         let add_row = |counts: &mut Vec<Vec<f64>>, row: &[u16], weight: f64| {
             for node in 0..d {
-                let parent_vals: Vec<u16> =
-                    dag.parents(node).iter().map(|&q| row[q]).collect();
+                let parent_vals: Vec<u16> = dag.parents(node).iter().map(|&q| row[q]).collect();
                 let cfg = cpts[node].config_index(&parent_vals);
                 counts[node][cfg * cards[node] + row[node] as usize] += weight;
             }
@@ -188,7 +187,11 @@ mod tests {
         (0..n)
             .map(|_| {
                 let x0: u16 = rng.gen_range(0..4);
-                let x1 = if rng.gen_bool(0.9) { x0 } else { rng.gen_range(0..4) };
+                let x1 = if rng.gen_bool(0.9) {
+                    x0
+                } else {
+                    rng.gen_range(0..4)
+                };
                 let hide0 = rng.gen_bool(hide_frac);
                 let hide1 = !hide0 && rng.gen_bool(hide_frac);
                 vec![

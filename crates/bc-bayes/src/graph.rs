@@ -1,9 +1,7 @@
 //! Directed acyclic graph over attribute nodes.
 
-use serde::{Deserialize, Serialize};
-
 /// A DAG on `n` nodes, stored as sorted parent lists per node.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Dag {
     parents: Vec<Vec<usize>>,
 }

@@ -118,8 +118,8 @@ impl Factor {
         let mut cards = Vec::new();
         let (mut i, mut j) = (0, 0);
         while i < self.vars.len() || j < other.vars.len() {
-            let take_left = j >= other.vars.len()
-                || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
+            let take_left =
+                j >= other.vars.len() || (i < self.vars.len() && self.vars[i] <= other.vars[j]);
             if take_left {
                 if j < other.vars.len() && i < self.vars.len() && self.vars[i] == other.vars[j] {
                     j += 1;

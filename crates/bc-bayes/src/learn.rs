@@ -41,7 +41,12 @@ impl Default for LearnConfig {
 ///
 /// `Σ_config Σ_v n(config, v) ln( n(config, v) / n(config) )
 ///  − (ln N / 2) · (card − 1) · Π parent_cards`
-pub(crate) fn family_bic(rows: &[Vec<u16>], cards: &[usize], node: usize, parents: &[usize]) -> f64 {
+pub(crate) fn family_bic(
+    rows: &[Vec<u16>],
+    cards: &[usize],
+    node: usize,
+    parents: &[usize],
+) -> f64 {
     let n = rows.len();
     if n == 0 {
         return 0.0;
@@ -102,7 +107,8 @@ pub fn hill_climb(rows: &[Vec<u16>], cards: &[usize], config: &LearnConfig) -> D
     for _ in 0..config.max_iterations {
         // (delta, kind, parent, child): kind 0 = add, 1 = delete, 2 = reverse.
         let mut best: Option<(f64, u8, usize, usize)> = None;
-        let consider = |cand: (f64, u8, usize, usize), best: &mut Option<(f64, u8, usize, usize)>| {
+        let consider = |cand: (f64, u8, usize, usize),
+                        best: &mut Option<(f64, u8, usize, usize)>| {
             if cand.0 > 1e-9 && best.is_none_or(|b| cand.0 > b.0) {
                 *best = Some(cand);
             }
@@ -168,12 +174,7 @@ pub fn hill_climb(rows: &[Vec<u16>], cards: &[usize], config: &LearnConfig) -> D
 }
 
 /// Fits Laplace-smoothed maximum-likelihood CPTs for a fixed structure.
-pub fn fit_parameters(
-    dag: &Dag,
-    rows: &[Vec<u16>],
-    cards: &[usize],
-    laplace: f64,
-) -> Vec<Cpt> {
+pub fn fit_parameters(dag: &Dag, rows: &[Vec<u16>], cards: &[usize], laplace: f64) -> Vec<Cpt> {
     let d = cards.len();
     (0..d)
         .map(|node| {
@@ -198,12 +199,7 @@ pub fn fit_parameters(
 }
 
 /// BIC score of one family, exposed for the annealed structure search.
-pub fn family_bic_score(
-    rows: &[Vec<u16>],
-    cards: &[usize],
-    node: usize,
-    parents: &[usize],
-) -> f64 {
+pub fn family_bic_score(rows: &[Vec<u16>], cards: &[usize], node: usize, parents: &[usize]) -> f64 {
     family_bic(rows, cards, node, parents)
 }
 
@@ -228,7 +224,11 @@ mod tests {
         (0..n)
             .map(|_| {
                 let x0: u16 = rng.gen_range(0..4);
-                let x1 = if rng.gen_bool(0.9) { x0 } else { rng.gen_range(0..4) };
+                let x1 = if rng.gen_bool(0.9) {
+                    x0
+                } else {
+                    rng.gen_range(0..4)
+                };
                 let x2: u16 = rng.gen_range(0..4);
                 vec![x0, x1, x2]
             })

@@ -57,7 +57,11 @@ impl MissingValueModel {
     /// of `data` itself; with too few complete rows the model degrades
     /// gracefully to per-attribute marginals / uniform priors.
     pub fn learn(data: &Dataset, config: &ModelConfig) -> MissingValueModel {
-        let cards: Vec<usize> = data.domains().iter().map(|d| d.cardinality() as usize).collect();
+        let cards: Vec<usize> = data
+            .domains()
+            .iter()
+            .map(|d| d.cardinality() as usize)
+            .collect();
         let network = if config.uniform_prior {
             let dag = Dag::empty(cards.len());
             let cpts = fit_parameters(&dag, &[], &cards, config.learn.laplace);
@@ -72,10 +76,8 @@ impl MissingValueModel {
             // ...then parameters: EM over everything, or smoothed MLE on
             // the complete rows.
             if let Some(em_config) = &config.em {
-                let all_rows: Vec<Vec<Option<u16>>> = data
-                    .objects()
-                    .map(|o| data.row(o).to_vec())
-                    .collect();
+                let all_rows: Vec<Vec<Option<u16>>> =
+                    data.objects().map(|o| data.row(o).to_vec()).collect();
                 em_fit(&dag, &all_rows, &cards, em_config)
             } else {
                 let cpts = fit_parameters(&dag, &complete, &cards, config.learn.laplace);
@@ -199,7 +201,11 @@ mod tests {
         let rows: Vec<Vec<u16>> = (0..3000)
             .map(|_| {
                 let x0: u16 = rng.gen_range(0..8);
-                let x1 = if rng.gen_bool(0.85) { x0 } else { rng.gen_range(0..8) };
+                let x1 = if rng.gen_bool(0.85) {
+                    x0
+                } else {
+                    rng.gen_range(0..8)
+                };
                 vec![x0, x1]
             })
             .collect();

@@ -1,7 +1,6 @@
 //! Discrete probability mass functions over an attribute domain `0..card`.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A discrete distribution over values `0..card` (index = value).
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cut.p(0), 0.0);
 /// assert!((cut.p(1) - 2.0 / 3.0).abs() < 1e-12);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Pmf {
     probs: Vec<f64>,
 }
@@ -36,7 +35,10 @@ impl Pmf {
         assert!(!weights.is_empty(), "a pmf needs at least one value");
         let mut total = 0.0;
         for &w in &weights {
-            assert!(w.is_finite() && w >= 0.0, "pmf weights must be finite and non-negative");
+            assert!(
+                w.is_finite() && w >= 0.0,
+                "pmf weights must be finite and non-negative"
+            );
             total += w;
         }
         assert!(total > 0.0, "pmf weights must not all be zero");
@@ -221,7 +223,10 @@ impl Pmf {
 /// Entropy of a Bernoulli variable with success probability `p` (Eq. 3 of
 /// the paper, with `0 log 0 = 0`).
 pub fn binary_entropy(p: f64) -> f64 {
-    debug_assert!((-1e-9..=1.0 + 1e-9).contains(&p), "probability out of range: {p}");
+    debug_assert!(
+        (-1e-9..=1.0 + 1e-9).contains(&p),
+        "probability out of range: {p}"
+    );
     let p = p.clamp(0.0, 1.0);
     let mut h = 0.0;
     if p > 0.0 {
@@ -285,7 +290,10 @@ mod tests {
     fn point_mass_detection() {
         assert_eq!(Pmf::delta(6, 3).as_point(), Some(3));
         assert_eq!(Pmf::uniform(2).as_point(), None);
-        assert_eq!(Pmf::uniform(4).conditioned(0b1000).unwrap().as_point(), Some(3));
+        assert_eq!(
+            Pmf::uniform(4).conditioned(0b1000).unwrap().as_point(),
+            Some(3)
+        );
     }
 
     #[test]

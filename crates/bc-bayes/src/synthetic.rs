@@ -109,18 +109,30 @@ pub fn adult_like() -> BayesianNetwork {
             AGE,
             vec![],
             vec![],
-            vec![Pmf::from_weights(vec![0.8, 1.0, 1.3, 1.5, 1.5, 1.3, 1.0, 0.8])],
+            vec![Pmf::from_weights(vec![
+                0.8, 1.0, 1.3, 1.5, 1.5, 1.3, 1.0, 0.8,
+            ])],
         ),
         // EDUCATION | AGE: older brackets slightly more educated.
         monotone_cpt(EDUCATION, CARD, vec![AGE], vec![CARD], &[0.35], 0.3, 1.6),
         // OCCUPATION | EDUCATION.
-        monotone_cpt(OCCUPATION, CARD, vec![EDUCATION], vec![CARD], &[0.7], 0.12, 1.2),
+        monotone_cpt(
+            OCCUPATION,
+            CARD,
+            vec![EDUCATION],
+            vec![CARD],
+            &[0.7],
+            0.12,
+            1.2,
+        ),
         // HOURS: root.
         Cpt::new(
             HOURS,
             vec![],
             vec![],
-            vec![Pmf::from_weights(vec![0.6, 0.8, 1.1, 1.6, 1.6, 1.1, 0.8, 0.6])],
+            vec![Pmf::from_weights(vec![
+                0.6, 0.8, 1.1, 1.6, 1.6, 1.1, 0.8, 0.6,
+            ])],
         ),
         // INCOME | EDUCATION, OCCUPATION, HOURS (sorted parent order).
         monotone_cpt(
@@ -172,7 +184,11 @@ mod tests {
         let low = bn.posterior(nodes::INCOME, &[(nodes::EDUCATION, 0)]);
         let high = bn.posterior(nodes::INCOME, &[(nodes::EDUCATION, 7)]);
         let mean = |p: &crate::Pmf| -> f64 {
-            p.probs().iter().enumerate().map(|(v, &q)| v as f64 * q).sum()
+            p.probs()
+                .iter()
+                .enumerate()
+                .map(|(v, &q)| v as f64 * q)
+                .sum()
         };
         assert!(
             mean(&high) > mean(&low) + 1.0,
@@ -188,7 +204,11 @@ mod tests {
         let young = bn.posterior(nodes::HEALTH, &[(nodes::AGE, 0)]);
         let old = bn.posterior(nodes::HEALTH, &[(nodes::AGE, 7)]);
         let mean = |p: &crate::Pmf| -> f64 {
-            p.probs().iter().enumerate().map(|(v, &q)| v as f64 * q).sum()
+            p.probs()
+                .iter()
+                .enumerate()
+                .map(|(v, &q)| v as f64 * q)
+                .sum()
         };
         assert!(mean(&young) > mean(&old));
     }

@@ -1,0 +1,435 @@
+//! Fault injection for crowd platforms.
+//!
+//! Real crowdsourcing markets misbehave in ways the paper's simulator does
+//! not: tasks expire unanswered, the workforce thins out mid-campaign,
+//! spammers submit fixed or adversarial answers, rounds straggle past their
+//! deadline, and duplicate submissions conflict. [`FaultyPlatform`] wraps any
+//! [`CrowdPlatform`] and injects exactly these failures from a seeded RNG, so
+//! a degraded run is reproducible and can be compared against its fault-free
+//! twin on the same seed.
+
+use crate::platform::{CrowdPlatform, CrowdStats};
+use crate::task::{Task, TaskOutcome, TaskResult};
+use bc_ctable::Relation;
+use bc_data::Dataset;
+use rand::{Rng, SeedableRng};
+
+/// What a spammer worker submits instead of an honest answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpammerKind {
+    /// Always the same relation, regardless of the question ("always click
+    /// the first option").
+    Fixed(Relation),
+    /// Always the *inverted* truth: `Lt` ↔ `Gt`, and `Eq` reported as `Gt`.
+    /// The worst case for majority voting, since adversarial answers
+    /// correlate with each other instead of cancelling out.
+    Adversarial,
+}
+
+impl SpammerKind {
+    /// The spammer's answer given the (voted) honest answer.
+    fn corrupt(self, honest: Relation) -> Relation {
+        match self {
+            SpammerKind::Fixed(r) => r,
+            SpammerKind::Adversarial => match honest {
+                Relation::Lt => Relation::Gt,
+                Relation::Gt => Relation::Lt,
+                Relation::Eq => Relation::Gt,
+            },
+        }
+    }
+}
+
+/// Tunable fault model. All rates are probabilities in `[0, 1]`; the
+/// default injects nothing, so `FaultyPlatform::new(p, FaultConfig::default(), s)`
+/// behaves exactly like `p`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Per-task probability that no answer arrives before the round closes
+    /// ([`TaskOutcome::Expired`]).
+    pub expiry_prob: f64,
+    /// Fraction of the remaining workforce lost after each round. Attrition
+    /// compounds: with attrition `a`, round `r` answers tasks with
+    /// probability `(1 - expiry_prob) · (1 - a)^r`. At `1.0` the entire
+    /// workforce quits after the first round and every later task expires.
+    pub attrition: f64,
+    /// Per-answered-task probability that a spammer's vote displaced the
+    /// honest one.
+    pub spammer_rate: f64,
+    /// What the spammers submit.
+    pub spammer_kind: SpammerKind,
+    /// Per-round probability that the round straggles — workers are slow
+    /// and the batch consumes `straggler_penalty` extra rounds of latency.
+    pub straggler_prob: f64,
+    /// Extra rounds a straggling batch costs (≥ 1 to matter).
+    pub straggler_penalty: usize,
+    /// Per-answered-task probability that duplicate, conflicting
+    /// resubmissions cancel the vote out ([`TaskOutcome::Inconsistent`]).
+    pub duplicate_prob: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            expiry_prob: 0.0,
+            attrition: 0.0,
+            spammer_rate: 0.0,
+            spammer_kind: SpammerKind::Adversarial,
+            straggler_prob: 0.0,
+            straggler_penalty: 1,
+            duplicate_prob: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Panics unless every rate is a probability.
+    fn validate(&self) {
+        for (name, p) in [
+            ("expiry_prob", self.expiry_prob),
+            ("attrition", self.attrition),
+            ("spammer_rate", self.spammer_rate),
+            ("straggler_prob", self.straggler_prob),
+            ("duplicate_prob", self.duplicate_prob),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "{name} must be a probability, got {p}"
+            );
+        }
+    }
+}
+
+/// A decorator that injects seeded-RNG faults into any [`CrowdPlatform`].
+///
+/// Expired tasks never reach the inner platform (nobody answered, so nobody
+/// is paid), but they still count as posted and the batch still burns its
+/// round of latency — failure is not free. Spam and duplicate corruption
+/// happen *after* the inner platform resolves its vote, modelling a spammer
+/// whose answer displaced the honest majority.
+#[derive(Debug)]
+pub struct FaultyPlatform<P> {
+    inner: P,
+    cfg: FaultConfig,
+    rng: rand::rngs::StdRng,
+    /// Fraction of the original workforce still active (decays by
+    /// `cfg.attrition` per round).
+    workforce: f64,
+    /// Stats for what the inner platform never saw: expired postings and
+    /// straggler rounds.
+    overlay: CrowdStats,
+}
+
+impl<P: CrowdPlatform> FaultyPlatform<P> {
+    /// Wraps `inner`, injecting faults drawn from a dedicated RNG seeded
+    /// with `seed` (independent of the inner platform's seed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate in `cfg` is outside `[0, 1]`.
+    pub fn new(inner: P, cfg: FaultConfig, seed: u64) -> FaultyPlatform<P> {
+        cfg.validate();
+        FaultyPlatform {
+            inner,
+            cfg,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            workforce: 1.0,
+            overlay: CrowdStats::default(),
+        }
+    }
+
+    /// The wrapped platform.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwraps the decorator.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Fraction of the original workforce still answering tasks.
+    pub fn workforce(&self) -> f64 {
+        self.workforce
+    }
+}
+
+impl<P: CrowdPlatform> CrowdPlatform for FaultyPlatform<P> {
+    fn post_round(&mut self, tasks: &[Task]) -> Vec<TaskResult> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+
+        // Straggling workers: the batch consumes extra latency up front.
+        if self.cfg.straggler_prob > 0.0 && self.rng.gen_bool(self.cfg.straggler_prob) {
+            self.overlay.rounds += self.cfg.straggler_penalty;
+        }
+
+        // Decide per task whether anyone answers at all. Expired tasks are
+        // withheld from the inner platform but still count as posted.
+        let answer_prob = ((1.0 - self.cfg.expiry_prob) * self.workforce).clamp(0.0, 1.0);
+        let mut survived = Vec::with_capacity(tasks.len());
+        let mut expired = vec![false; tasks.len()];
+        for (i, task) in tasks.iter().enumerate() {
+            if self.rng.gen_bool(answer_prob) {
+                survived.push(*task);
+            } else {
+                expired[i] = true;
+            }
+        }
+        self.overlay.tasks_posted += tasks.len() - survived.len();
+
+        let mut inner_results = if survived.is_empty() {
+            // The whole batch expired: the round still happened and still
+            // costs latency, even though the inner platform never saw it.
+            self.overlay.rounds += 1;
+            Vec::new()
+        } else {
+            self.inner.post_round(&survived)
+        }
+        .into_iter();
+
+        // Merge back in posting order, corrupting answered tasks.
+        let mut out = Vec::with_capacity(tasks.len());
+        for (i, task) in tasks.iter().enumerate() {
+            if expired[i] {
+                out.push(TaskResult {
+                    task: *task,
+                    outcome: TaskOutcome::Expired,
+                });
+                continue;
+            }
+            let inner = inner_results
+                .next()
+                .expect("inner platform returns one result per posted task");
+            let outcome = match inner.outcome {
+                TaskOutcome::Answered(honest) => {
+                    if self.cfg.duplicate_prob > 0.0 && self.rng.gen_bool(self.cfg.duplicate_prob) {
+                        TaskOutcome::Inconsistent
+                    } else if self.cfg.spammer_rate > 0.0
+                        && self.rng.gen_bool(self.cfg.spammer_rate)
+                    {
+                        TaskOutcome::Answered(self.cfg.spammer_kind.corrupt(honest))
+                    } else {
+                        TaskOutcome::Answered(honest)
+                    }
+                }
+                other => other,
+            };
+            out.push(TaskResult {
+                task: *task,
+                outcome,
+            });
+        }
+
+        // Attrition takes effect between rounds.
+        self.workforce *= 1.0 - self.cfg.attrition;
+        out
+    }
+
+    fn escalate(&mut self, extra: usize) {
+        self.inner.escalate(extra);
+    }
+
+    fn stats(&self) -> CrowdStats {
+        let inner = self.inner.stats();
+        CrowdStats {
+            tasks_posted: inner.tasks_posted + self.overlay.tasks_posted,
+            rounds: inner.rounds + self.overlay.rounds,
+            worker_answers: inner.worker_answers,
+            money_spent: inner.money_spent,
+        }
+    }
+
+    fn ground_truth(&self) -> Option<&Dataset> {
+        self.inner.ground_truth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GroundTruthOracle;
+    use crate::platform::SimulatedPlatform;
+    use bc_ctable::Operand;
+    use bc_data::generators::sample::paper_completion;
+    use bc_data::VarId;
+
+    fn perfect_inner(seed: u64) -> SimulatedPlatform {
+        SimulatedPlatform::new(GroundTruthOracle::new(paper_completion()), 1.0, seed)
+    }
+
+    fn task(o: u32, a: u16, c: u16) -> Task {
+        Task {
+            var: VarId::new(o, a),
+            rhs: Operand::Const(c),
+        }
+    }
+
+    fn post(p: &mut impl CrowdPlatform, tasks: &[Task]) -> Vec<TaskResult> {
+        p.post_round(tasks)
+    }
+
+    #[test]
+    fn default_config_injects_nothing() {
+        let mut faulty = FaultyPlatform::new(perfect_inner(3), FaultConfig::default(), 11);
+        let r = post(&mut faulty, &[task(4, 3, 4), task(4, 2, 3)]);
+        assert_eq!(r[0].outcome, TaskOutcome::Answered(Relation::Lt));
+        assert_eq!(r[1].outcome, TaskOutcome::Answered(Relation::Eq));
+        let s = faulty.stats();
+        assert_eq!(s, faulty.inner().stats(), "no overlay without faults");
+        assert_eq!(s.tasks_posted, 2);
+        assert_eq!(s.rounds, 1);
+    }
+
+    #[test]
+    fn expiry_withholds_tasks_but_charges_posting_and_latency() {
+        let cfg = FaultConfig {
+            expiry_prob: 0.4,
+            ..FaultConfig::default()
+        };
+        let mut faulty = FaultyPlatform::new(perfect_inner(3), cfg, 17);
+        let batch: Vec<Task> = (0..50).map(|i| task(4, 3, i as u16)).collect();
+        let results = post(&mut faulty, &batch);
+        assert_eq!(results.len(), 50, "one result per posted task");
+        let expired = results
+            .iter()
+            .filter(|r| r.outcome == TaskOutcome::Expired)
+            .count();
+        assert!(
+            (8..=32).contains(&expired),
+            "~40% of 50 should expire, got {expired}"
+        );
+        let s = faulty.stats();
+        assert_eq!(s.tasks_posted, 50, "expired tasks still count as posted");
+        assert_eq!(s.rounds, 1);
+        // Nobody answered an expired task, so nobody was paid for it.
+        assert_eq!(s.worker_answers, (50 - expired) * 3);
+        assert_eq!(s.money_spent, ((50 - expired) * 3) as u64);
+        // Results stay in posting order.
+        for (r, t) in results.iter().zip(&batch) {
+            assert_eq!(r.task, *t);
+        }
+    }
+
+    #[test]
+    fn full_expiry_round_still_burns_latency() {
+        let cfg = FaultConfig {
+            expiry_prob: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut faulty = FaultyPlatform::new(perfect_inner(3), cfg, 5);
+        let r = post(&mut faulty, &[task(4, 3, 4)]);
+        assert_eq!(r[0].outcome, TaskOutcome::Expired);
+        let s = faulty.stats();
+        assert_eq!(s.rounds, 1, "an all-expired batch is still a round");
+        assert_eq!(s.tasks_posted, 1);
+        assert_eq!(s.worker_answers, 0);
+    }
+
+    #[test]
+    fn total_attrition_kills_the_workforce_after_round_one() {
+        let cfg = FaultConfig {
+            attrition: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut faulty = FaultyPlatform::new(perfect_inner(3), cfg, 5);
+        let first = post(&mut faulty, &[task(4, 3, 4)]);
+        assert_eq!(first[0].outcome, TaskOutcome::Answered(Relation::Lt));
+        assert_eq!(faulty.workforce(), 0.0);
+        let second = post(&mut faulty, &[task(4, 2, 3), task(1, 1, 3)]);
+        assert!(second.iter().all(|r| r.outcome == TaskOutcome::Expired));
+    }
+
+    #[test]
+    fn adversarial_spammers_invert_every_answer() {
+        let cfg = FaultConfig {
+            spammer_rate: 1.0,
+            spammer_kind: SpammerKind::Adversarial,
+            ..FaultConfig::default()
+        };
+        let mut faulty = FaultyPlatform::new(perfect_inner(3), cfg, 5);
+        let r = post(&mut faulty, &[task(4, 3, 4), task(4, 2, 3)]);
+        // Truth Lt → reported Gt; truth Eq → reported Gt.
+        assert_eq!(r[0].outcome, TaskOutcome::Answered(Relation::Gt));
+        assert_eq!(r[1].outcome, TaskOutcome::Answered(Relation::Gt));
+    }
+
+    #[test]
+    fn fixed_spammers_always_answer_the_same() {
+        let cfg = FaultConfig {
+            spammer_rate: 1.0,
+            spammer_kind: SpammerKind::Fixed(Relation::Eq),
+            ..FaultConfig::default()
+        };
+        let mut faulty = FaultyPlatform::new(perfect_inner(5), cfg, 5);
+        let r = post(&mut faulty, &[task(4, 3, 4), task(1, 1, 2)]);
+        assert!(r
+            .iter()
+            .all(|r| r.outcome == TaskOutcome::Answered(Relation::Eq)));
+    }
+
+    #[test]
+    fn duplicates_turn_answers_inconsistent() {
+        let cfg = FaultConfig {
+            duplicate_prob: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut faulty = FaultyPlatform::new(perfect_inner(5), cfg, 5);
+        let r = post(&mut faulty, &[task(4, 3, 4)]);
+        assert_eq!(r[0].outcome, TaskOutcome::Inconsistent);
+    }
+
+    #[test]
+    fn stragglers_add_latency_without_touching_answers() {
+        let cfg = FaultConfig {
+            straggler_prob: 1.0,
+            straggler_penalty: 2,
+            ..FaultConfig::default()
+        };
+        let mut faulty = FaultyPlatform::new(perfect_inner(5), cfg, 5);
+        let r = post(&mut faulty, &[task(4, 3, 4)]);
+        assert_eq!(r[0].outcome, TaskOutcome::Answered(Relation::Lt));
+        // 1 real round + 2 straggler rounds.
+        assert_eq!(faulty.stats().rounds, 3);
+        assert_eq!(faulty.stats().tasks_posted, 1);
+    }
+
+    #[test]
+    fn faults_are_deterministic_per_seed() {
+        let cfg = FaultConfig {
+            expiry_prob: 0.3,
+            spammer_rate: 0.2,
+            duplicate_prob: 0.1,
+            ..FaultConfig::default()
+        };
+        let run = |seed: u64| {
+            let mut f = FaultyPlatform::new(perfect_inner(3), cfg, seed);
+            (0..10)
+                .map(|i| post(&mut f, &[task(4, 3, i as u16)])[0].outcome)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn escalation_and_ground_truth_delegate_to_inner() {
+        let mut faulty = FaultyPlatform::new(perfect_inner(3), FaultConfig::default(), 11);
+        assert_eq!(faulty.ground_truth(), Some(&paper_completion()));
+        post(&mut faulty, &[task(4, 3, 4)]);
+        faulty.escalate(2);
+        post(&mut faulty, &[task(4, 3, 4)]);
+        assert_eq!(faulty.stats().worker_answers, 3 + 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn out_of_range_rates_are_rejected() {
+        let cfg = FaultConfig {
+            expiry_prob: 1.5,
+            ..FaultConfig::default()
+        };
+        let _ = FaultyPlatform::new(perfect_inner(3), cfg, 0);
+    }
+}

@@ -9,20 +9,32 @@
 //! to several workers whose per-answer accuracy is configurable, and the
 //! returned answers are combined by majority voting, exactly as in
 //! Section 7's setup (3 workers per task, accuracy 1.0 by default).
+//!
+//! Beyond the fault-free simulator, the crate models a *realistic* market:
+//! the [`CrowdPlatform`] trait reports per-task partial results
+//! ([`TaskOutcome`]: answered, expired, or inconsistent), [`FaultyPlatform`]
+//! decorates any platform with seeded fault injection (expiry, attrition,
+//! spammers, stragglers, duplicates), and [`RetryPolicy`] describes how the
+//! framework re-queues failed tasks under its budget and latency caps.
 
 pub mod cost;
+pub mod fault;
 pub mod oracle;
 pub mod platform;
 pub mod pool;
+pub mod retry;
 pub mod task;
 pub mod unary;
 pub mod vote;
 pub mod worker;
 
 pub use cost::CostModel;
+pub use fault::{FaultConfig, FaultyPlatform, SpammerKind};
 pub use oracle::GroundTruthOracle;
-pub use platform::{CrowdStats, SimulatedPlatform};
+pub use platform::{CrowdPlatform, CrowdStats, SimulatedPlatform};
 pub use pool::WorkerPool;
-pub use task::{Task, TaskAnswer};
+pub use retry::RetryPolicy;
+pub use task::{Task, TaskAnswer, TaskOutcome, TaskResult};
 pub use unary::UnaryTask;
+pub use vote::{majority_vote, vote_with_tie_break};
 pub use worker::Worker;

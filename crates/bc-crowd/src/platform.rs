@@ -1,13 +1,14 @@
-//! The simulated crowdsourcing platform: batch posting, worker assignment,
-//! voting, and cost/latency accounting.
+//! The crowd-platform abstraction and its simulated implementation: batch
+//! posting, worker assignment, voting, and cost/latency accounting.
 
 use crate::cost::CostModel;
 use crate::oracle::GroundTruthOracle;
 use crate::pool::WorkerPool;
-use crate::task::{Task, TaskAnswer};
-use crate::vote::majority_vote;
+use crate::task::{Task, TaskAnswer, TaskOutcome, TaskResult};
+use crate::vote::{majority_vote, vote_with_tie_break};
 use crate::worker::Worker;
 use bc_ctable::Relation;
+use bc_data::Dataset;
 use rand::SeedableRng;
 
 /// Monetary-cost and latency accounting, as the paper measures them: cost =
@@ -16,7 +17,8 @@ use rand::SeedableRng;
 pub struct CrowdStats {
     /// Total tasks posted.
     pub tasks_posted: usize,
-    /// Total rounds (task-selection iterations).
+    /// Total rounds (task-selection iterations). Platforms that model
+    /// stragglers may charge more than one round per posted batch.
     pub rounds: usize,
     /// Individual worker answers collected.
     pub worker_answers: usize,
@@ -25,16 +27,56 @@ pub struct CrowdStats {
     pub money_spent: u64,
 }
 
+/// A crowdsourcing market the framework can post task batches to.
+///
+/// The contract mirrors a real platform, not the ideal one: a posted task
+/// is *not* guaranteed an answer. Each round returns one [`TaskResult`] per
+/// task — answered, expired, or inconsistent — and it is the caller's job
+/// (see the framework's retry policy) to decide what failed tasks are worth.
+///
+/// Implementations must keep [`CrowdPlatform::stats`] consistent with what
+/// actually happened: every posted task counts toward `tasks_posted` (even
+/// if it expires), every non-empty batch consumes at least one round, and
+/// every collected worker answer is both counted and paid.
+pub trait CrowdPlatform {
+    /// Posts one batch (= one round/iteration) of tasks and returns one
+    /// result per task, in posting order. An empty batch does not count as
+    /// a round.
+    fn post_round(&mut self, tasks: &[Task]) -> Vec<TaskResult>;
+
+    /// Recruits `extra` additional workers per task for all subsequent
+    /// rounds — the retry policy's escalation hook. Platforms without
+    /// adjustable staffing may ignore it (the default does).
+    fn escalate(&mut self, extra: usize) {
+        let _ = extra;
+    }
+
+    /// Accumulated cost/latency statistics.
+    fn stats(&self) -> CrowdStats;
+
+    /// The hidden complete dataset, when the platform knows it. Used only
+    /// to score a run against ground truth; real or mock platforms return
+    /// `None` and reports simply carry no accuracy.
+    fn ground_truth(&self) -> Option<&Dataset> {
+        None
+    }
+}
+
 /// A simulated crowdsourcing market.
 ///
 /// Each posted task is answered by `workers_per_task` independent workers of
-/// the configured accuracy and resolved by majority voting.
+/// the configured accuracy and resolved by majority voting. Via
+/// [`CrowdPlatform`] a vote without a strict plurality is reported as
+/// [`TaskOutcome::Inconsistent`]; the inherent [`SimulatedPlatform::post_round`]
+/// convenience API instead breaks ties at random (the legacy fault-free
+/// behaviour baselines rely on).
 #[derive(Debug)]
 pub struct SimulatedPlatform {
     oracle: GroundTruthOracle,
     staffing: Staffing,
     workers_per_task: usize,
     retry_workers: usize,
+    escalated: usize,
     cost_model: CostModel,
     rng: rand::rngs::StdRng,
     stats: CrowdStats,
@@ -73,6 +115,7 @@ impl SimulatedPlatform {
             staffing: Staffing::Homogeneous(Worker::new(worker_accuracy)),
             workers_per_task,
             retry_workers: 0,
+            escalated: 0,
             cost_model: CostModel::default(),
             rng: rand::rngs::StdRng::seed_from_u64(seed),
             stats: CrowdStats::default(),
@@ -112,6 +155,7 @@ impl SimulatedPlatform {
             staffing: Staffing::Pool(pool),
             workers_per_task,
             retry_workers: 0,
+            escalated: 0,
             cost_model: CostModel::default(),
             rng: rand::rngs::StdRng::seed_from_u64(seed),
             stats: CrowdStats::default(),
@@ -124,8 +168,11 @@ impl SimulatedPlatform {
         &self.oracle
     }
 
-    /// Posts one batch (= one round/iteration) of tasks and returns the
-    /// majority-voted answers. An empty batch does not count as a round.
+    /// Posts one batch and resolves *every* task: ties that survive CDAS
+    /// escalation are broken uniformly at random. This is the legacy
+    /// fault-free API the baselines and unit tests use; the
+    /// [`CrowdPlatform`] impl reports such votes as
+    /// [`TaskOutcome::Inconsistent`] instead.
     pub fn post_round(&mut self, tasks: &[Task]) -> Vec<TaskAnswer> {
         if tasks.is_empty() {
             return Vec::new();
@@ -133,23 +180,38 @@ impl SimulatedPlatform {
         self.stats.rounds += 1;
         self.stats.tasks_posted += tasks.len();
         let mut out = Vec::with_capacity(tasks.len());
-        for &task in tasks {
-            let truth = self.oracle.truth(&task);
-            let mut answers = self.collect_answers(truth, self.workers_per_task, &task);
-            // Quality control: escalate split votes with extra workers.
-            if self.retry_workers > 0 && !answers.iter().all(|&a| a == answers[0]) {
-                let extra = self.collect_answers(truth, self.retry_workers, &task);
-                answers.extend(extra);
-            }
-            let relation = majority_vote(&answers, &mut self.rng);
-            let ta = TaskAnswer { task, relation };
+        for task in tasks {
+            let answers = self.answers_for(task);
+            let relation = vote_with_tie_break(&answers, &mut self.rng)
+                .expect("every task is staffed by at least one worker");
+            let ta = TaskAnswer {
+                task: *task,
+                relation,
+            };
             self.log.push(ta);
             out.push(ta);
         }
         out
     }
 
-    /// Draws `k` worker answers for one task, updating the accounting.
+    /// All worker answers for one task: the current staffing level (base +
+    /// escalation), plus CDAS extra workers when the initial vote splits.
+    fn answers_for(&mut self, task: &Task) -> Vec<Relation> {
+        let truth = self.oracle.truth(task);
+        let staffing = self.workers_per_task + self.escalated;
+        let mut answers = self.collect_answers(truth, staffing, task);
+        // Quality control: escalate split votes with extra workers.
+        if self.retry_workers > 0 && !answers.iter().all(|&a| a == answers[0]) {
+            let extra = self.collect_answers(truth, self.retry_workers, task);
+            answers.extend(extra);
+        }
+        answers
+    }
+
+    /// Draws `k` worker answers for one task. This is the single point
+    /// where answers come into existence, so it is also the single point of
+    /// accounting: every collected answer increments `worker_answers` and is
+    /// paid the task's price — including CDAS extras and escalation answers.
     fn collect_answers(&mut self, truth: Relation, k: usize, task: &Task) -> Vec<Relation> {
         self.stats.worker_answers += k;
         self.stats.money_spent += self.cost_model.price(task) * k as u64;
@@ -169,6 +231,47 @@ impl SimulatedPlatform {
     /// Every task answered so far, in posting order.
     pub fn log(&self) -> &[TaskAnswer] {
         &self.log
+    }
+}
+
+impl CrowdPlatform for SimulatedPlatform {
+    fn post_round(&mut self, tasks: &[Task]) -> Vec<TaskResult> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        self.stats.rounds += 1;
+        self.stats.tasks_posted += tasks.len();
+        let mut out = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            let answers = self.answers_for(task);
+            let outcome = match majority_vote(&answers) {
+                Some(relation) => {
+                    self.log.push(TaskAnswer {
+                        task: *task,
+                        relation,
+                    });
+                    TaskOutcome::Answered(relation)
+                }
+                None => TaskOutcome::Inconsistent,
+            };
+            out.push(TaskResult {
+                task: *task,
+                outcome,
+            });
+        }
+        out
+    }
+
+    fn escalate(&mut self, extra: usize) {
+        self.escalated += extra;
+    }
+
+    fn stats(&self) -> CrowdStats {
+        self.stats
+    }
+
+    fn ground_truth(&self) -> Option<&Dataset> {
+        Some(self.oracle.complete())
     }
 }
 
@@ -215,12 +318,8 @@ mod tests {
     fn majority_voting_rescues_moderate_noise() {
         // With accuracy 0.8 and 5 workers, the voted answer is right much
         // more often than a single worker.
-        let mut p = SimulatedPlatform::with_workers(
-            GroundTruthOracle::new(paper_completion()),
-            0.8,
-            5,
-            13,
-        );
+        let mut p =
+            SimulatedPlatform::with_workers(GroundTruthOracle::new(paper_completion()), 0.8, 5, 13);
         let mut correct = 0;
         for _ in 0..400 {
             let a = p.post_round(&[task(4, 3, 4)]);
@@ -237,12 +336,9 @@ mod tests {
         // With accuracy 0.65, 3 workers often split; escalating by 4 extra
         // workers should raise the voted accuracy measurably.
         let run = |retry: usize, seed: u64| -> f64 {
-            let mut p = SimulatedPlatform::new(
-                GroundTruthOracle::new(paper_completion()),
-                0.65,
-                seed,
-            )
-            .with_retry(retry);
+            let mut p =
+                SimulatedPlatform::new(GroundTruthOracle::new(paper_completion()), 0.65, seed)
+                    .with_retry(retry);
             let trials = 600;
             let mut correct = 0;
             for _ in 0..trials {
@@ -263,28 +359,43 @@ mod tests {
 
     #[test]
     fn retry_never_fires_on_unanimous_votes() {
-        let mut p = SimulatedPlatform::new(
-            GroundTruthOracle::new(paper_completion()),
-            1.0,
-            3,
-        )
-        .with_retry(10);
+        let mut p = SimulatedPlatform::new(GroundTruthOracle::new(paper_completion()), 1.0, 3)
+            .with_retry(10);
         p.post_round(&[task(4, 3, 4), task(1, 1, 3)]);
         // Perfect workers are always unanimous: exactly 3 answers per task.
         assert_eq!(p.stats().worker_answers, 6);
     }
 
     #[test]
+    fn every_collected_answer_is_both_counted_and_paid() {
+        // The CDAS escalation path must hit the same accounting as the
+        // initial staffing: under the unit cost model, money and answer
+        // counts stay identical no matter how many escalations fire.
+        let mut p = SimulatedPlatform::new(GroundTruthOracle::new(paper_completion()), 0.5, 29)
+            .with_retry(4);
+        for _ in 0..50 {
+            p.post_round(&[task(4, 3, 4), task(4, 2, 3)]);
+        }
+        let s = p.stats();
+        assert!(
+            s.worker_answers > s.tasks_posted * 3,
+            "accuracy 0.5 must trigger escalations ({} answers for {} tasks)",
+            s.worker_answers,
+            s.tasks_posted
+        );
+        assert_eq!(
+            s.money_spent, s.worker_answers as u64,
+            "unit cost model: every answer paid exactly once"
+        );
+    }
+
+    #[test]
     fn money_accounting_follows_the_cost_model() {
-        let mut p = SimulatedPlatform::new(
-            GroundTruthOracle::new(paper_completion()),
-            1.0,
-            9,
-        )
-        .with_cost_model(crate::cost::CostModel::ByDifficulty {
-            var_const: 2,
-            var_var: 7,
-        });
+        let mut p = SimulatedPlatform::new(GroundTruthOracle::new(paper_completion()), 1.0, 9)
+            .with_cost_model(crate::cost::CostModel::ByDifficulty {
+                var_const: 2,
+                var_var: 7,
+            });
         let vv = Task {
             var: VarId::new(4, 1),
             rhs: Operand::Var(VarId::new(1, 1)),
@@ -297,12 +408,8 @@ mod tests {
     #[test]
     fn pool_staffing_answers_tasks() {
         let pool = WorkerPool::new(&[1.0, 1.0, 1.0]);
-        let mut p = SimulatedPlatform::with_pool(
-            GroundTruthOracle::new(paper_completion()),
-            pool,
-            3,
-            4,
-        );
+        let mut p =
+            SimulatedPlatform::with_pool(GroundTruthOracle::new(paper_completion()), pool, 3, 4);
         let answers = p.post_round(&[task(4, 3, 4)]);
         assert_eq!(answers[0].relation, Relation::Lt);
         assert_eq!(p.stats().worker_answers, 3);
@@ -311,16 +418,61 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let run = |seed: u64| {
-            let mut p = SimulatedPlatform::new(
-                GroundTruthOracle::new(paper_completion()),
-                0.5,
-                seed,
-            );
+            let mut p =
+                SimulatedPlatform::new(GroundTruthOracle::new(paper_completion()), 0.5, seed);
             (0..20)
                 .map(|_| p.post_round(&[task(4, 1, 5)])[0].relation)
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn trait_post_round_reports_outcomes_per_task() {
+        let mut p = platform(1.0);
+        let results = CrowdPlatform::post_round(&mut p, &[task(4, 3, 4), task(4, 2, 3)]);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].outcome, TaskOutcome::Answered(Relation::Lt));
+        assert_eq!(results[1].outcome, TaskOutcome::Answered(Relation::Eq));
+        assert_eq!(results[0].answer().unwrap().relation, Relation::Lt);
+    }
+
+    #[test]
+    fn trait_post_round_reports_unresolvable_votes_as_inconsistent() {
+        // Accuracy 0 with 4 workers: answers are uniform over the two wrong
+        // relations, so votes frequently split 2-2. Splits without a strict
+        // plurality must come back Inconsistent, and they must not enter the
+        // answer log.
+        let mut p =
+            SimulatedPlatform::with_workers(GroundTruthOracle::new(paper_completion()), 0.0, 4, 9);
+        let mut saw_inconsistent = false;
+        let mut answered = 0usize;
+        for _ in 0..60 {
+            let r = CrowdPlatform::post_round(&mut p, &[task(4, 3, 4)]);
+            match r[0].outcome {
+                TaskOutcome::Inconsistent => saw_inconsistent = true,
+                TaskOutcome::Answered(_) => answered += 1,
+                TaskOutcome::Expired => panic!("the fault-free platform never expires tasks"),
+            }
+        }
+        assert!(saw_inconsistent, "unanimity-free votes must surface");
+        assert_eq!(p.log().len(), answered, "only answers are logged");
+    }
+
+    #[test]
+    fn escalation_raises_staffing_for_later_rounds() {
+        let mut p = platform(1.0);
+        CrowdPlatform::post_round(&mut p, &[task(4, 3, 4)]);
+        assert_eq!(p.stats().worker_answers, 3);
+        p.escalate(2);
+        CrowdPlatform::post_round(&mut p, &[task(4, 3, 4)]);
+        assert_eq!(p.stats().worker_answers, 3 + 5, "3 base + 2 escalated");
+    }
+
+    #[test]
+    fn ground_truth_exposes_the_oracle_dataset() {
+        let p = platform(1.0);
+        assert_eq!(p.ground_truth(), Some(&paper_completion()));
     }
 }

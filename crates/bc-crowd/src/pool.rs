@@ -36,9 +36,7 @@ impl WorkerPool {
         assert!(n > 0);
         assert!(low <= high);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let accuracies: Vec<f64> = (0..n)
-            .map(|_| rng.gen_range(low..=high))
-            .collect();
+        let accuracies: Vec<f64> = (0..n).map(|_| rng.gen_range(low..=high)).collect();
         WorkerPool::new(&accuracies)
     }
 
@@ -126,17 +124,14 @@ mod tests {
             (0..trials)
                 .filter(|_| {
                     let answers = p.answer(Relation::Gt, 3, rng);
-                    majority_vote(&answers, rng) == Relation::Gt
+                    majority_vote(&answers) == Some(Relation::Gt)
                 })
                 .count() as f64
                 / trials as f64
         };
         let raw = score(&pool, &mut rng);
         let recruited = score(&elite, &mut rng);
-        assert!(
-            recruited > raw + 0.15,
-            "recruited {recruited} vs raw {raw}"
-        );
+        assert!(recruited > raw + 0.15, "recruited {recruited} vs raw {raw}");
     }
 
     #[test]

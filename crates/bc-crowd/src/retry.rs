@@ -1,0 +1,107 @@
+//! Retry policy for failed crowd tasks.
+//!
+//! When a posted task comes back [`Expired`](crate::TaskOutcome::Expired) or
+//! [`Inconsistent`](crate::TaskOutcome::Inconsistent), the framework may
+//! re-post it in a later round instead of dropping the question. The policy
+//! here decides how often, with how many extra workers, and after how much
+//! backoff — all still within the run's overall budget B and latency L, which
+//! the framework enforces (a retried task is a posted task and costs budget
+//! like any other).
+
+/// How failed tasks are re-queued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total posting attempts per task, including the first. `1` disables
+    /// retries; failed tasks are abandoned immediately.
+    pub max_attempts: usize,
+    /// Extra workers recruited (via [`CrowdPlatform::escalate`]
+    /// (crate::CrowdPlatform::escalate)) each time a round contains at
+    /// least one retry — escalating staffing when the first attempt failed.
+    pub escalate_workers: usize,
+    /// Base of the exponential backoff, in rounds. Attempt `n`'s re-post
+    /// waits `backoff_base << (n - 1)` rounds; `0` re-queues for the next
+    /// round immediately.
+    pub backoff_base: usize,
+}
+
+impl Default for RetryPolicy {
+    /// One retry, no escalation, no backoff: failed tasks get a second
+    /// chance in the very next round.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 2,
+            escalate_workers: 0,
+            backoff_base: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Retries disabled: every task gets exactly one attempt.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            escalate_workers: 0,
+            backoff_base: 0,
+        }
+    }
+
+    /// Whether failed tasks are ever re-posted.
+    pub fn retries_enabled(&self) -> bool {
+        self.max_attempts > 1
+    }
+
+    /// Rounds to wait before re-posting after `attempt` failed attempts
+    /// (`attempt >= 1`). Exponential in the attempt count, with the shift
+    /// capped so large attempt numbers cannot overflow.
+    pub fn backoff_rounds(&self, attempt: usize) -> usize {
+        if self.backoff_base == 0 {
+            return 0;
+        }
+        self.backoff_base << (attempt.saturating_sub(1)).min(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_gives_a_second_chance_without_backoff() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.max_attempts, 2);
+        assert!(p.retries_enabled());
+        assert_eq!(p.backoff_rounds(1), 0);
+    }
+
+    #[test]
+    fn none_disables_retries() {
+        let p = RetryPolicy::none();
+        assert!(!p.retries_enabled());
+        assert_eq!(p.max_attempts, 1);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy {
+            max_attempts: 5,
+            escalate_workers: 0,
+            backoff_base: 2,
+        };
+        assert_eq!(p.backoff_rounds(1), 2);
+        assert_eq!(p.backoff_rounds(2), 4);
+        assert_eq!(p.backoff_rounds(3), 8);
+    }
+
+    #[test]
+    fn backoff_shift_is_capped() {
+        let p = RetryPolicy {
+            max_attempts: usize::MAX,
+            escalate_workers: 0,
+            backoff_base: 1,
+        };
+        // Far past the cap: must not overflow, and must stay at the cap.
+        assert_eq!(p.backoff_rounds(100), 1 << 16);
+        assert_eq!(p.backoff_rounds(17), 1 << 16);
+    }
+}

@@ -76,6 +76,46 @@ pub struct TaskAnswer {
     pub relation: Relation,
 }
 
+/// How one posted task ended within its round.
+///
+/// Real crowd platforms do not guarantee an answer per posting: workers may
+/// never pick a task up, and the ones who do may disagree beyond repair.
+/// [`CrowdPlatform::post_round`](crate::CrowdPlatform::post_round) therefore
+/// reports a per-task outcome instead of a bare answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// The crowd settled on a strict-plurality answer.
+    Answered(Relation),
+    /// No answer arrived before the round closed (worker no-shows,
+    /// attrition, platform failure).
+    Expired,
+    /// Answers arrived but no strict plurality emerged — a voting tie, or
+    /// conflicting duplicate submissions cancelling each other out.
+    Inconsistent,
+}
+
+/// Per-task partial result of one posted round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskResult {
+    /// The task that was posted.
+    pub task: Task,
+    /// How it ended.
+    pub outcome: TaskOutcome,
+}
+
+impl TaskResult {
+    /// The settled answer, when the task was answered.
+    pub fn answer(&self) -> Option<TaskAnswer> {
+        match self.outcome {
+            TaskOutcome::Answered(relation) => Some(TaskAnswer {
+                task: self.task,
+                relation,
+            }),
+            TaskOutcome::Expired | TaskOutcome::Inconsistent => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +155,28 @@ mod tests {
         assert!(a.conflicts_with(&c), "var-var task shares Var(o5,a2)");
         assert!(!a.conflicts_with(&d));
         assert!(a.conflicts_with(&a));
+    }
+
+    #[test]
+    fn task_result_answer_extracts_only_settled_outcomes() {
+        let t = Task {
+            var: v(5, 2),
+            rhs: Operand::Const(2),
+        };
+        let answered = TaskResult {
+            task: t,
+            outcome: TaskOutcome::Answered(Relation::Lt),
+        };
+        assert_eq!(
+            answered.answer(),
+            Some(TaskAnswer {
+                task: t,
+                relation: Relation::Lt
+            })
+        );
+        for outcome in [TaskOutcome::Expired, TaskOutcome::Inconsistent] {
+            assert_eq!(TaskResult { task: t, outcome }.answer(), None);
+        }
     }
 
     #[test]

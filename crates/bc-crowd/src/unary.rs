@@ -30,12 +30,7 @@ impl UnaryTask {
 
 /// One worker's estimate of a hidden value: exact with probability
 /// `accuracy`, otherwise one step off (clamped to the domain).
-pub fn estimate_value(
-    truth: Value,
-    max_value: Value,
-    accuracy: f64,
-    rng: &mut impl Rng,
-) -> Value {
+pub fn estimate_value(truth: Value, max_value: Value, accuracy: f64, rng: &mut impl Rng) -> Value {
     if rng.gen_bool(accuracy.clamp(0.0, 1.0)) {
         truth
     } else if truth == 0 {
@@ -127,8 +122,12 @@ mod tests {
         let oracle = GroundTruthOracle::new(paper_completion());
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let tasks = [
-            UnaryTask { var: VarId::new(4, 3) }, // hidden 2
-            UnaryTask { var: VarId::new(1, 1) }, // hidden 4
+            UnaryTask {
+                var: VarId::new(4, 3),
+            }, // hidden 2
+            UnaryTask {
+                var: VarId::new(1, 1),
+            }, // hidden 4
         ];
         let answers = answer_unary_batch(&oracle, &tasks, 1.0, 3, &mut rng);
         assert_eq!(answers[0].1, 2);
@@ -137,7 +136,9 @@ mod tests {
 
     #[test]
     fn question_text() {
-        let t = UnaryTask { var: VarId::new(5, 2) };
+        let t = UnaryTask {
+            var: VarId::new(5, 2),
+        };
         assert_eq!(t.question(), "What is the value of Var(o5, a2)?");
     }
 

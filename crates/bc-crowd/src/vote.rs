@@ -3,25 +3,53 @@
 use bc_ctable::Relation;
 use rand::Rng;
 
-/// Combines worker answers by majority vote; ties (possible when all
-/// assigned workers disagree) are broken uniformly at random among the tied
-/// relations.
+/// Combines worker answers by strict-plurality majority vote.
 ///
-/// # Panics
-///
-/// Panics on an empty answer slice.
-pub fn majority_vote(answers: &[Relation], rng: &mut impl Rng) -> Relation {
-    assert!(!answers.is_empty(), "majority vote needs at least one answer");
-    let mut counts = [0usize; 3];
-    for &a in answers {
-        counts[a as usize] += 1;
+/// Returns `None` when no single relation received strictly more votes than
+/// every other — an empty slice, a 2-2-2 split, or any shared maximum. A
+/// `None` is the platform's signal that the task ended
+/// [`Inconsistent`](crate::task::TaskOutcome::Inconsistent): callers decide
+/// whether to requeue, escalate, or give up.
+pub fn majority_vote(answers: &[Relation]) -> Option<Relation> {
+    let counts = tally(answers);
+    let best = counts.into_iter().max().expect("three counters");
+    if best == 0 {
+        return None;
     }
-    let best = *counts.iter().max().expect("three counters");
+    let mut tied = [Relation::Lt, Relation::Eq, Relation::Gt]
+        .into_iter()
+        .filter(|&r| counts[r as usize] == best);
+    let winner = tied.next().expect("some relation reaches the maximum");
+    if tied.next().is_some() {
+        None
+    } else {
+        Some(winner)
+    }
+}
+
+/// Majority voting with the legacy tie policy: ties are broken uniformly at
+/// random among the tied relations, so every non-empty vote settles. Used by
+/// the fault-free convenience API, where an unresolvable task would have
+/// nowhere to go.
+pub fn vote_with_tie_break(answers: &[Relation], rng: &mut impl Rng) -> Option<Relation> {
+    if answers.is_empty() {
+        return None;
+    }
+    let counts = tally(answers);
+    let best = counts.into_iter().max().expect("three counters");
     let tied: Vec<Relation> = [Relation::Lt, Relation::Eq, Relation::Gt]
         .into_iter()
         .filter(|&r| counts[r as usize] == best)
         .collect();
-    tied[rng.gen_range(0..tied.len())]
+    Some(tied[rng.gen_range(0..tied.len())])
+}
+
+fn tally(answers: &[Relation]) -> [usize; 3] {
+    let mut counts = [0usize; 3];
+    for &a in answers {
+        counts[a as usize] += 1;
+    }
+    counts
 }
 
 #[cfg(test)]
@@ -31,46 +59,81 @@ mod tests {
 
     #[test]
     fn clear_majority_wins() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let voted = majority_vote(
-            &[Relation::Gt, Relation::Gt, Relation::Lt],
-            &mut rng,
+        assert_eq!(
+            majority_vote(&[Relation::Gt, Relation::Gt, Relation::Lt]),
+            Some(Relation::Gt)
         );
-        assert_eq!(voted, Relation::Gt);
     }
 
     #[test]
     fn unanimous() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
         assert_eq!(
-            majority_vote(&[Relation::Eq, Relation::Eq, Relation::Eq], &mut rng),
-            Relation::Eq
+            majority_vote(&[Relation::Eq, Relation::Eq, Relation::Eq]),
+            Some(Relation::Eq)
         );
     }
 
     #[test]
-    fn three_way_tie_picks_one_of_the_tied() {
+    fn single_answer_passes_through() {
+        assert_eq!(majority_vote(&[Relation::Lt]), Some(Relation::Lt));
+    }
+
+    #[test]
+    fn empty_is_inconclusive() {
+        assert_eq!(majority_vote(&[]), None);
+    }
+
+    #[test]
+    fn two_two_two_split_is_inconclusive() {
+        let answers = [
+            Relation::Lt,
+            Relation::Lt,
+            Relation::Eq,
+            Relation::Eq,
+            Relation::Gt,
+            Relation::Gt,
+        ];
+        assert_eq!(majority_vote(&answers), None);
+    }
+
+    #[test]
+    fn pairwise_tie_is_inconclusive() {
+        assert_eq!(
+            majority_vote(&[Relation::Lt, Relation::Gt, Relation::Gt, Relation::Lt]),
+            None
+        );
+        // A strict plurality over the same relations settles.
+        assert_eq!(
+            majority_vote(&[Relation::Lt, Relation::Gt, Relation::Gt]),
+            Some(Relation::Gt)
+        );
+    }
+
+    #[test]
+    fn tie_break_reaches_every_tied_relation() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..100 {
-            seen.insert(majority_vote(
-                &[Relation::Lt, Relation::Eq, Relation::Gt],
-                &mut rng,
-            ));
+            seen.insert(
+                vote_with_tie_break(&[Relation::Lt, Relation::Eq, Relation::Gt], &mut rng).unwrap(),
+            );
         }
         assert_eq!(seen.len(), 3, "all tied answers should be reachable");
     }
 
     #[test]
-    fn single_answer_passes_through() {
+    fn tie_break_agrees_with_majority_when_one_exists() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        assert_eq!(majority_vote(&[Relation::Lt], &mut rng), Relation::Lt);
+        let answers = [Relation::Gt, Relation::Gt, Relation::Lt];
+        assert_eq!(
+            vote_with_tie_break(&answers, &mut rng),
+            majority_vote(&answers)
+        );
     }
 
     #[test]
-    #[should_panic(expected = "at least one answer")]
-    fn empty_is_rejected() {
+    fn tie_break_on_empty_is_none() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        let _ = majority_vote(&[], &mut rng);
+        assert_eq!(vote_with_tie_break(&[], &mut rng), None);
     }
 }

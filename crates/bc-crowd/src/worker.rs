@@ -36,8 +36,7 @@ impl Worker {
             truth
         } else {
             let wrong = [Relation::Lt, Relation::Eq, Relation::Gt];
-            let options: Vec<Relation> =
-                wrong.into_iter().filter(|&r| r != truth).collect();
+            let options: Vec<Relation> = wrong.into_iter().filter(|&r| r != truth).collect();
             options[rng.gen_range(0..options.len())]
         }
     }

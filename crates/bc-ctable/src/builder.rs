@@ -60,7 +60,13 @@ fn escape_clause(data: &Dataset, o: ObjectId, p: ObjectId) -> Option<Vec<Expr>> 
             (Some(ov), None) => {
                 saw_missing = true;
                 if *ov > 0 {
-                    exprs.push(Expr::lt(VarId { object: p, attr: bc_data::AttrId(attr) }, *ov));
+                    exprs.push(Expr::lt(
+                        VarId {
+                            object: p,
+                            attr: bc_data::AttrId(attr),
+                        },
+                        *ov,
+                    ));
                 }
             }
             // o missing, p observed: escape is Var(o, a) > p[i];
@@ -68,16 +74,28 @@ fn escape_clause(data: &Dataset, o: ObjectId, p: ObjectId) -> Option<Vec<Expr>> 
             (None, Some(pv)) => {
                 saw_missing = true;
                 if *pv < max {
-                    exprs.push(Expr::gt(VarId { object: o, attr: bc_data::AttrId(attr) }, *pv));
+                    exprs.push(Expr::gt(
+                        VarId {
+                            object: o,
+                            attr: bc_data::AttrId(attr),
+                        },
+                        *pv,
+                    ));
                 }
             }
             // Both missing: escape is Var(o, a) > Var(p, a).
             (None, None) => {
                 saw_missing = true;
                 exprs.push(Expr::new(
-                    VarId { object: o, attr: bc_data::AttrId(attr) },
+                    VarId {
+                        object: o,
+                        attr: bc_data::AttrId(attr),
+                    },
                     CmpOp::Gt,
-                    Operand::Var(VarId { object: p, attr: bc_data::AttrId(attr) }),
+                    Operand::Var(VarId {
+                        object: p,
+                        attr: bc_data::AttrId(attr),
+                    }),
                 ));
             }
         }

@@ -7,12 +7,11 @@
 
 use crate::expr::{Expr, ExprOrBool};
 use bc_data::{Value, VarId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 
 /// A disjunction of expressions. Invariant: non-empty, deduplicated, sorted.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Clause {
     exprs: Vec<Expr>,
 }
@@ -81,7 +80,7 @@ impl fmt::Debug for Clause {
 ///
 /// Invariants of the `Cnf` variant: at least one clause, every clause
 /// non-empty, no duplicate clauses.
-#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub enum Condition {
     /// The object is certainly an answer.
     True,
@@ -234,8 +233,7 @@ impl Condition {
             Condition::True => Condition::Cnf(vec![Clause { exprs: vec![e] }]),
             Condition::False => Condition::False,
             Condition::Cnf(clauses) => {
-                let mut raw: Vec<Vec<Expr>> =
-                    clauses.iter().map(|c| c.exprs().to_vec()).collect();
+                let mut raw: Vec<Vec<Expr>> = clauses.iter().map(|c| c.exprs().to_vec()).collect();
                 raw.push(vec![e]);
                 Condition::from_clauses(raw)
             }
@@ -261,9 +259,9 @@ fn drop_subsumed(clauses: &mut Vec<Clause>) {
     }
     let snapshot = clauses.clone();
     clauses.retain(|big| {
-        !snapshot.iter().any(|small| {
-            small.len() < big.len() && is_subset(small.exprs(), big.exprs())
-        })
+        !snapshot
+            .iter()
+            .any(|small| small.len() < big.len() && is_subset(small.exprs(), big.exprs()))
     });
 }
 
@@ -323,7 +321,10 @@ mod tests {
         // Empty clause → false.
         assert_eq!(Condition::from_clauses(vec![vec![]]), Condition::False);
         // No clauses → true.
-        assert_eq!(Condition::from_clauses(Vec::<Vec<Expr>>::new()), Condition::True);
+        assert_eq!(
+            Condition::from_clauses(Vec::<Vec<Expr>>::new()),
+            Condition::True
+        );
         // Tautological clause dropped.
         let e = Expr::lt(v(0, 0), 3);
         let cond = Condition::from_clauses(vec![vec![e, e.negated()]]);
@@ -368,10 +369,7 @@ mod tests {
             vec![Expr::gt(x, 4)],
         ]);
         let s = cond.substitute(x, 5);
-        assert_eq!(
-            s,
-            Condition::from_clauses(vec![vec![Expr::lt(y, 3)]])
-        );
+        assert_eq!(s, Condition::from_clauses(vec![vec![Expr::lt(y, 3)]]));
         // x = 1 → first clause true, second false → condition false.
         assert_eq!(cond.substitute(x, 1), Condition::False);
     }

@@ -10,12 +10,11 @@
 
 use crate::expr::{mask_range, Expr, Operand};
 use bc_data::{Dataset, Value, VarId};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The outcome of a triple-choice crowd task: how the (hidden) left operand
 /// relates to the right operand.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Relation {
     /// Left is smaller.
     Lt,
@@ -79,7 +78,10 @@ impl ConstraintStore {
 
     /// Candidate-value mask of `v` (full domain if nothing is known).
     pub fn mask(&self, v: VarId) -> u64 {
-        self.masks.get(&v).copied().unwrap_or_else(|| self.full_mask(v))
+        self.masks
+            .get(&v)
+            .copied()
+            .unwrap_or_else(|| self.full_mask(v))
     }
 
     /// If only one value remains possible for `v`, that value.
@@ -123,9 +125,7 @@ impl ConstraintStore {
                 self.facts.insert((a, b), rel);
                 // Interval propagation between the two masks.
                 let (ma, mb) = (self.mask(a), self.mask(b));
-                if let (Some((amin, amax)), Some((bmin, bmax))) =
-                    (mask_range(ma), mask_range(mb))
-                {
+                if let (Some((amin, amax)), Some((bmin, bmax))) = (mask_range(ma), mask_range(mb)) {
                     let (na, nb) = match rel {
                         Relation::Lt => (ma & below_mask(bmax), mb & above_mask(amin)),
                         Relation::Gt => (ma & above_mask(bmin), mb & below_mask(amax)),

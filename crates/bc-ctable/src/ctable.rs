@@ -102,8 +102,8 @@ impl CTable {
 mod tests {
     use super::*;
     use crate::builder::{build_ctable, CTableConfig, DominatorStrategy};
-    use crate::expr::{Expr, Operand};
     use crate::constraint::Relation;
+    use crate::expr::{Expr, Operand};
     use bc_data::generators::sample::paper_dataset;
     use bc_data::VarId;
 

@@ -188,6 +188,9 @@ mod tests {
         )
         .unwrap();
         assert!(certainly_dominates(&complete, ObjectId(0), ObjectId(1)));
-        assert!(!certainly_dominates(&complete, ObjectId(1), ObjectId(2)), "ties never dominate");
+        assert!(
+            !certainly_dominates(&complete, ObjectId(1), ObjectId(2)),
+            "ties never dominate"
+        );
     }
 }

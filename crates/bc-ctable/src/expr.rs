@@ -3,13 +3,12 @@
 //! "disjunct"/"expression").
 
 use bc_data::{Value, VarId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Comparison operator. Conditions built from dominator sets only use strict
 /// comparisons, but the set is closed under negation (needed to evaluate the
 /// marginal-utility function) and under crowd answers (`Eq`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CmpOp {
     /// `<`
     Lt,
@@ -78,7 +77,7 @@ impl CmpOp {
 }
 
 /// Right-hand side of an expression.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Operand {
     /// A known constant value.
     Const(Value),
@@ -93,7 +92,7 @@ pub enum Operand {
 /// rewritten as `Lt c+1` and `Gt c` as `Ge c+1`, so that semantically equal
 /// expressions compare equal (the paper's expression-frequency counting
 /// relies on this).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Expr {
     var: VarId,
     op: CmpOp,
@@ -119,7 +118,10 @@ impl Expr {
                 rhs: Operand::Var(var),
             },
             Operand::Var(r) => {
-                debug_assert!(r != var, "an expression cannot compare a variable to itself");
+                debug_assert!(
+                    r != var,
+                    "an expression cannot compare a variable to itself"
+                );
                 Expr { var, op, rhs }
             }
             Operand::Const(c) => {
@@ -200,11 +202,9 @@ impl Expr {
         if self.var == v {
             match self.rhs {
                 Operand::Const(c) => ExprOrBool::Bool(self.op.eval(value, c)),
-                Operand::Var(r) => ExprOrBool::Expr(Expr::new(
-                    r,
-                    self.op.converse(),
-                    Operand::Const(value),
-                )),
+                Operand::Var(r) => {
+                    ExprOrBool::Expr(Expr::new(r, self.op.converse(), Operand::Const(value)))
+                }
             }
         } else if self.rhs == Operand::Var(v) {
             ExprOrBool::Expr(Expr::new(self.var, self.op, Operand::Const(value)))
@@ -374,7 +374,13 @@ mod tests {
 
         // Var-var decision via disjoint ranges.
         let vv = Expr::var_gt(v(1, 0), v(0, 0));
-        let masks = |x: VarId| if x == v(1, 0) { 0b1100_0000u64 } else { 0b0000_0011u64 };
+        let masks = |x: VarId| {
+            if x == v(1, 0) {
+                0b1100_0000u64
+            } else {
+                0b0000_0011u64
+            }
+        };
         assert_eq!(vv.decide(masks), Some(true));
     }
 

@@ -29,5 +29,5 @@ pub use builder::{build_ctable, CTableConfig, DominatorStrategy};
 pub use condition::{Clause, Condition};
 pub use constraint::{ConstraintStore, Relation};
 pub use ctable::CTable;
-pub use stats::CTableStats;
 pub use expr::{CmpOp, Expr, ExprOrBool, Operand};
+pub use stats::CTableStats;

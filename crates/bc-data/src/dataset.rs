@@ -3,13 +3,12 @@
 use crate::domain::{Domain, Value};
 use crate::error::DataError;
 use crate::ids::{AttrId, ObjectId, VarId};
-use serde::{Deserialize, Serialize};
 
 /// A (possibly incomplete) dataset `O` of objects over discrete attributes.
 ///
 /// Cells are stored row-major; `None` marks a missing value — the paper's
 /// `Var(o, a)` variable. Larger values are better for the skyline query.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Dataset {
     name: String,
     domains: Vec<Domain>,
@@ -219,7 +218,10 @@ impl Dataset {
                 });
             }
         }
-        let domains = attrs.iter().map(|&a| self.domains[a.index()].clone()).collect();
+        let domains = attrs
+            .iter()
+            .map(|&a| self.domains[a.index()].clone())
+            .collect();
         let mut cells = Vec::with_capacity(self.n_objects * attrs.len());
         for o in self.objects() {
             let row = self.row(o);

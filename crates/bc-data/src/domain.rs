@@ -8,7 +8,6 @@
 //! propagation after crowd answers cheap.
 
 use crate::error::DataError;
-use serde::{Deserialize, Serialize};
 
 /// A discretized attribute value. Values range over `0..cardinality` of the
 /// owning [`Domain`]; larger values are preferred by the skyline query.
@@ -20,7 +19,7 @@ pub type Value = u16;
 pub const MAX_CARDINALITY: u16 = 64;
 
 /// An attribute's name and discrete value domain `0..cardinality`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Domain {
     name: String,
     cardinality: u16,

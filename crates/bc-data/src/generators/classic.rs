@@ -17,8 +17,12 @@ pub fn independent(n: usize, d: usize, cardinality: u16, seed: u64) -> Dataset {
     let rows = (0..n)
         .map(|_| (0..d).map(|_| discretize(rng.gen(), cardinality)).collect())
         .collect();
-    Dataset::from_complete_rows("independent", uniform_domains(d, cardinality).unwrap(), rows)
-        .expect("generated values lie in the domain")
+    Dataset::from_complete_rows(
+        "independent",
+        uniform_domains(d, cardinality).unwrap(),
+        rows,
+    )
+    .expect("generated values lie in the domain")
 }
 
 /// Correlated workload: attributes share a latent base value, so skylines are

@@ -39,9 +39,8 @@ const ATTR_NAMES: [&str; NBA_ATTRS] = [
 
 /// Per-attribute weight of the latent skill; negative weights model
 /// liabilities re-expressed as "larger is better" scores.
-const SKILL_WEIGHT: [f64; NBA_ATTRS] = [
-    0.75, 0.65, 0.55, 0.5, 0.5, 0.6, 0.55, 0.45, 0.7, 0.6, -0.35,
-];
+const SKILL_WEIGHT: [f64; NBA_ATTRS] =
+    [0.75, 0.65, 0.55, 0.5, 0.5, 0.6, 0.55, 0.45, 0.7, 0.6, -0.35];
 
 /// Generates `n` complete NBA-like records with seeded determinism.
 pub fn nba_like(n: usize, seed: u64) -> Dataset {
@@ -106,7 +105,12 @@ mod tests {
         let n = xs.len() as f64;
         let mx = xs.iter().sum::<f64>() / n;
         let my = ys.iter().sum::<f64>() / n;
-        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n;
+        let cov: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / n;
         let sx = (xs.iter().map(|x| (x - mx).powi(2)).sum::<f64>() / n).sqrt();
         let sy = (ys.iter().map(|y| (y - my).powi(2)).sum::<f64>() / n).sqrt();
         let r = cov / (sx * sy);
@@ -127,7 +131,12 @@ mod tests {
         let n = xs.len() as f64;
         let mx = xs.iter().sum::<f64>() / n;
         let my = ys.iter().sum::<f64>() / n;
-        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n;
+        let cov: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / n;
         assert!(cov < 0.0, "low_turnovers should anticorrelate, got {cov}");
     }
 }

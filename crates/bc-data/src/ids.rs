@@ -1,20 +1,19 @@
 //! Strongly-typed identifiers for objects, attributes, and missing-value
 //! variables.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of an object (row) in a [`crate::Dataset`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub u32);
 
 /// Index of an attribute (column) in a [`crate::Dataset`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AttrId(pub u16);
 
 /// A missing-value variable `Var(o, a)`: the unknown value of attribute `a`
 /// of object `o`. This is the unit the crowd is asked about.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId {
     /// The object whose cell is missing.
     pub object: ObjectId,

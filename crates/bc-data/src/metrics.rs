@@ -4,11 +4,10 @@
 //! skyline of the corresponding complete data.
 
 use crate::ids::ObjectId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Precision / recall / F1 of a returned answer set against ground truth.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Accuracy {
     /// Fraction of returned objects that are true answers.
     pub precision: f64,

@@ -36,7 +36,8 @@ pub fn inject_mcar(complete: &Dataset, rate: f64, seed: u64) -> (Dataset, Vec<Va
     for i in observed {
         let o = ObjectId((i / d) as u32);
         let a = AttrId((i % d) as u16);
-        out.set(o, a, None).expect("indices derive from the dataset itself");
+        out.set(o, a, None)
+            .expect("indices derive from the dataset itself");
         deleted.push(VarId { object: o, attr: a });
     }
     deleted.sort_unstable();

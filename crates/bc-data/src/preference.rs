@@ -29,7 +29,10 @@ pub enum Direction {
 ///
 /// Returns [`DataError::IndexOutOfBounds`] via the underlying setters if
 /// `directions` has the wrong arity.
-pub fn normalize_directions(data: &Dataset, directions: &[Direction]) -> Result<Dataset, DataError> {
+pub fn normalize_directions(
+    data: &Dataset,
+    directions: &[Direction],
+) -> Result<Dataset, DataError> {
     if directions.len() != data.n_attrs() {
         return Err(DataError::RowArity {
             object: 0,
@@ -74,10 +77,14 @@ mod tests {
             vec![1, 3], // cheap, same quality → dominates under min-price
             vec![5, 9],
         ]);
-        let norm = normalize_directions(&data, &[Direction::Minimize, Direction::Maximize]).unwrap();
+        let norm =
+            normalize_directions(&data, &[Direction::Minimize, Direction::Maximize]).unwrap();
         let sky = skyline_bnl(&norm).unwrap();
         assert!(sky.contains(&ObjectId(1)));
-        assert!(!sky.contains(&ObjectId(0)), "dominated once price is minimized");
+        assert!(
+            !sky.contains(&ObjectId(0)),
+            "dominated once price is minimized"
+        );
         assert!(sky.contains(&ObjectId(2)));
     }
 
@@ -95,7 +102,8 @@ mod tests {
     fn missing_cells_stay_missing() {
         let mut data = ds(vec![vec![3, 7]]);
         data.set(ObjectId(0), AttrId(0), None).unwrap();
-        let norm = normalize_directions(&data, &[Direction::Minimize, Direction::Minimize]).unwrap();
+        let norm =
+            normalize_directions(&data, &[Direction::Minimize, Direction::Minimize]).unwrap();
         assert_eq!(norm.get(ObjectId(0), AttrId(0)), None);
         assert_eq!(norm.get(ObjectId(0), AttrId(1)), Some(2));
     }

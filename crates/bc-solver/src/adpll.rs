@@ -205,8 +205,7 @@ impl AdpllSolver {
                 self.direct.set(self.direct.get() + 1);
                 self.clause_probability(comp[0], dists)?
             } else {
-                let cond =
-                    Condition::from_clauses(comp.iter().map(|c| c.exprs().to_vec()));
+                let cond = Condition::from_clauses(comp.iter().map(|c| c.exprs().to_vec()));
                 match &cond {
                     Condition::True => 1.0,
                     Condition::False => 0.0,
@@ -304,10 +303,8 @@ mod tests {
     #[test]
     fn independent_clauses_use_the_product_rule() {
         // (x < 2) ∧ (y < 5), x,y uniform over 10 → 0.2 * 0.5.
-        let cond = Condition::from_clauses(vec![
-            vec![Expr::lt(v(0, 0), 2)],
-            vec![Expr::lt(v(1, 0), 5)],
-        ]);
+        let cond =
+            Condition::from_clauses(vec![vec![Expr::lt(v(0, 0), 2)], vec![Expr::lt(v(1, 0), 5)]]);
         let d: VarDists = [(v(0, 0), Pmf::uniform(10)), (v(1, 0), Pmf::uniform(10))]
             .into_iter()
             .collect();
@@ -322,10 +319,7 @@ mod tests {
     #[test]
     fn disjunctive_rule_within_a_clause() {
         // (x < 2 ∨ y < 5) → 1 - 0.8*0.5 = 0.6.
-        let cond = Condition::from_clauses(vec![vec![
-            Expr::lt(v(0, 0), 2),
-            Expr::lt(v(1, 0), 5),
-        ]]);
+        let cond = Condition::from_clauses(vec![vec![Expr::lt(v(0, 0), 2), Expr::lt(v(1, 0), 5)]]);
         let d: VarDists = [(v(0, 0), Pmf::uniform(10)), (v(1, 0), Pmf::uniform(10))]
             .into_iter()
             .collect();
@@ -396,7 +390,11 @@ mod tests {
         let cond = Condition::from_clauses(vec![
             vec![Expr::lt(v(0, 0), 5), Expr::lt(v(1, 0), 3)],
             vec![Expr::gt(v(0, 0), 1), Expr::gt(v(2, 0), 6)],
-            vec![Expr::lt(v(0, 0), 8), Expr::gt(v(1, 0), 1), Expr::lt(v(2, 0), 9)],
+            vec![
+                Expr::lt(v(0, 0), 8),
+                Expr::gt(v(1, 0), 1),
+                Expr::lt(v(2, 0), 9),
+            ],
         ]);
         let d: VarDists = (0..3).map(|o| (v(o, 0), Pmf::uniform(10))).collect();
         let cached = AdpllSolver::new();
@@ -425,12 +423,9 @@ mod tests {
         let d1: VarDists = [(v(0, 0), Pmf::uniform(4)), (v(1, 0), Pmf::uniform(4))]
             .into_iter()
             .collect();
-        let d2: VarDists = [
-            (v(0, 0), Pmf::uniform(4)),
-            (v(1, 0), Pmf::delta(4, 3)),
-        ]
-        .into_iter()
-        .collect();
+        let d2: VarDists = [(v(0, 0), Pmf::uniform(4)), (v(1, 0), Pmf::delta(4, 3))]
+            .into_iter()
+            .collect();
         let p1 = s.probability(&cond, &d1).unwrap();
         let p2 = s.probability(&cond, &d2).unwrap();
         // P(x<2)·[P(x=1)/P(x<2) + P(x=0)/P(x<2)·P(y<2)] = .25 + .25·.5.

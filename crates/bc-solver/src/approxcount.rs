@@ -94,10 +94,7 @@ impl ApproxCountSolver {
             .collect::<Result<Vec<_>, _>>()?;
 
         // Sample assignments; keep per-(var, value) model counts.
-        let mut model_counts: Vec<Vec<u32>> = pmfs
-            .iter()
-            .map(|p| vec![0u32; p.card()])
-            .collect();
+        let mut model_counts: Vec<Vec<u32>> = pmfs.iter().map(|p| vec![0u32; p.card()]).collect();
         let mut models = 0u32;
         let mut assignment: Vec<Value> = vec![0; vars.len()];
         for _ in 0..self.samples_per_level {
@@ -147,8 +144,7 @@ impl Solver for ApproxCountSolver {
         let exact = NaiveSolver::with_limit(self.exact_cutoff.saturating_mul(4));
         let mut total = 0.0;
         for chain in 0..self.repeats.max(1) {
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(self.seed.wrapping_add(chain as u64));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed.wrapping_add(chain as u64));
             total += self.estimate(cond, dists, &mut rng, &exact)?;
         }
         Ok(total / self.repeats.max(1) as f64)
@@ -227,7 +223,9 @@ mod tests {
         let clauses: Vec<Vec<Expr>> = (0..8).map(|i| vec![Expr::lt(v(i), 1)]).collect();
         let cond = Condition::from_clauses(clauses);
         let d = big_dists(8, 8);
-        let est = ApproxCountSolver::new(500, 5).probability(&cond, &d).unwrap();
+        let est = ApproxCountSolver::new(500, 5)
+            .probability(&cond, &d)
+            .unwrap();
         assert_eq!(est, 0.0);
     }
 

@@ -114,10 +114,7 @@ mod tests {
 
     #[test]
     fn matches_closed_forms() {
-        let cond = Condition::from_clauses(vec![vec![
-            Expr::lt(v(0, 0), 2),
-            Expr::lt(v(1, 0), 5),
-        ]]);
+        let cond = Condition::from_clauses(vec![vec![Expr::lt(v(0, 0), 2), Expr::lt(v(1, 0), 5)]]);
         let d: VarDists = [(v(0, 0), Pmf::uniform(10)), (v(1, 0), Pmf::uniform(10))]
             .into_iter()
             .collect();
@@ -134,7 +131,10 @@ mod tests {
         let d: VarDists = [
             (v(0, 0), Pmf::uniform(10)),
             (v(0, 1), Pmf::uniform(8)),
-            (v(1, 0), Pmf::from_weights(vec![1.0, 2.0, 3.0, 2.0, 1.0, 1.0])),
+            (
+                v(1, 0),
+                Pmf::from_weights(vec![1.0, 2.0, 3.0, 2.0, 1.0, 1.0]),
+            ),
         ]
         .into_iter()
         .collect();

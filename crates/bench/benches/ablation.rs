@@ -31,7 +31,11 @@ fn bench_branch_heuristic(c: &mut Criterion) {
 
     for (name, heuristic, caching) in [
         ("most_frequent", BranchHeuristic::MostFrequent, true),
-        ("most_frequent_nocache", BranchHeuristic::MostFrequent, false),
+        (
+            "most_frequent_nocache",
+            BranchHeuristic::MostFrequent,
+            false,
+        ),
         ("first_var", BranchHeuristic::First, true),
     ] {
         group.bench_with_input(BenchmarkId::new(name, open.len()), &open, |b, open| {

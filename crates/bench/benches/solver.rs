@@ -30,7 +30,10 @@ fn bench_solvers(c: &mut Criterion) {
         let (ct, dists, open) = setup(rate);
         let solvers: Vec<(&str, Box<dyn Solver>)> = vec![
             ("adpll", Box::new(AdpllSolver::new())),
-            ("adpll_nocache", Box::new(AdpllSolver::new().with_caching(false))),
+            (
+                "adpll_nocache",
+                Box::new(AdpllSolver::new().with_caching(false)),
+            ),
             ("naive", Box::new(NaiveSolver::with_limit(5_000_000))),
             ("approxcount", Box::new(ApproxCountSolver::new(1_000, 7))),
             ("montecarlo", Box::new(MonteCarloSolver::new(2_000, 7))),

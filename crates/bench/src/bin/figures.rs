@@ -7,11 +7,11 @@
 //! ```
 
 use bc_bench::experiments;
-use bc_bench::{print_rows, Row, Scale};
+use bc_bench::{print_rows, rows_to_json_pretty, Row, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [all | fig2 .. fig11 | table6 | ext_model | ext_ranking | ext_baselines]... [--scale small|paper] [--json PATH]"
+        "usage: figures [all | fig2 .. fig11 | table6 | ext_model | ext_ranking | ext_baselines | ext_faults]... [--scale small|paper] [--json PATH]"
     );
     std::process::exit(2);
 }
@@ -64,6 +64,7 @@ fn main() {
             "ext_model" => experiments::ext_model(&scale),
             "ext_ranking" => experiments::ext_ranking(&scale),
             "ext_baselines" => experiments::ext_baselines(&scale),
+            "ext_faults" => experiments::ext_faults(&scale),
             _ => usage(),
         };
         rows.extend(produced);
@@ -72,7 +73,7 @@ fn main() {
     print_rows(&rows);
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&rows).expect("rows are serializable");
+        let json = rows_to_json_pretty(&rows);
         std::fs::write(&path, json).expect("writing the JSON dump");
         eprintln!("wrote {path}");
     }

@@ -136,11 +136,7 @@ pub fn fig3(scale: &Scale) -> Vec<Row> {
                 },
             );
             let model = MissingValueModel::learn(&w.incomplete, &ModelConfig::default());
-            let dists: VarDists = model
-                .pmfs()
-                .iter()
-                .map(|(k, v)| (*k, v.clone()))
-                .collect();
+            let dists: VarDists = model.pmfs().iter().map(|(k, v)| (*k, v.clone())).collect();
             let open = ct.open_objects();
 
             let solvers: Vec<(&str, Box<dyn Solver>)> = vec![
@@ -288,17 +284,33 @@ pub fn fig5(scale: &Scale) -> Vec<Row> {
         .iter()
         .map(|f| (f * scale.nba_budget as f64).round())
         .collect();
-    rows.extend(sweep("fig5", &nba, scale, "budget", &budgets, 1.0, |c, x| {
-        c.budget = x as usize;
-    }));
+    rows.extend(sweep(
+        "fig5",
+        &nba,
+        scale,
+        "budget",
+        &budgets,
+        1.0,
+        |c, x| {
+            c.budget = x as usize;
+        },
+    ));
     let syn = Workload::synthetic(scale.syn_n, 0.1, 48);
     let budgets: Vec<f64> = [0.25, 0.5, 1.0, 2.0]
         .iter()
         .map(|f| (f * scale.syn_budget as f64).round())
         .collect();
-    rows.extend(sweep("fig5", &syn, scale, "budget", &budgets, 1.0, |c, x| {
-        c.budget = x as usize;
-    }));
+    rows.extend(sweep(
+        "fig5",
+        &syn,
+        scale,
+        "budget",
+        &budgets,
+        1.0,
+        |c, x| {
+            c.budget = x as usize;
+        },
+    ));
     rows
 }
 
@@ -307,9 +319,25 @@ pub fn fig6(scale: &Scale) -> Vec<Row> {
     let mut rows = Vec::new();
     for rate in MISSING_RATES {
         let nba = Workload::nba(scale.nba_n, rate, 49);
-        rows.extend(sweep("fig6", &nba, scale, "missing_rate", &[rate], 1.0, |_, _| {}));
+        rows.extend(sweep(
+            "fig6",
+            &nba,
+            scale,
+            "missing_rate",
+            &[rate],
+            1.0,
+            |_, _| {},
+        ));
         let syn = Workload::synthetic(scale.syn_n, rate, 49);
-        rows.extend(sweep("fig6", &syn, scale, "missing_rate", &[rate], 1.0, |_, _| {}));
+        rows.extend(sweep(
+            "fig6",
+            &syn,
+            scale,
+            "missing_rate",
+            &[rate],
+            1.0,
+            |_, _| {},
+        ));
     }
     rows
 }
@@ -383,9 +411,25 @@ pub fn fig9(scale: &Scale) -> Vec<Row> {
     let mut rows = Vec::new();
     for acc in [0.7, 0.8, 0.9, 1.0] {
         let nba = Workload::nba(scale.nba_n, 0.1, 53);
-        rows.extend(sweep("fig9", &nba, scale, "worker_accuracy", &[acc], acc, |_, _| {}));
+        rows.extend(sweep(
+            "fig9",
+            &nba,
+            scale,
+            "worker_accuracy",
+            &[acc],
+            acc,
+            |_, _| {},
+        ));
         let syn = Workload::synthetic(scale.syn_n, 0.1, 53);
-        rows.extend(sweep("fig9", &syn, scale, "worker_accuracy", &[acc], acc, |_, _| {}));
+        rows.extend(sweep(
+            "fig9",
+            &syn,
+            scale,
+            "worker_accuracy",
+            &[acc],
+            acc,
+            |_, _| {},
+        ));
     }
     rows
 }
@@ -558,10 +602,7 @@ pub fn ext_baselines(scale: &Scale) -> Vec<Row> {
             seed: 64,
             ..Default::default()
         })
-        .run(
-            &w.incomplete,
-            &GroundTruthOracle::new(w.complete.clone()),
-        );
+        .run(&w.incomplete, &GroundTruthOracle::new(w.complete.clone()));
         rows.push(Row::new(
             "ext_baselines",
             "CrowdImpute",
@@ -589,10 +630,7 @@ pub fn ext_baselines(scale: &Scale) -> Vec<Row> {
             seed: 64,
             ..Default::default()
         })
-        .run(
-            &w.incomplete,
-            &GroundTruthOracle::new(w.complete.clone()),
-        );
+        .run(&w.incomplete, &GroundTruthOracle::new(w.complete.clone()));
         rows.push(Row::new(
             "ext_baselines",
             "CrowdImpute-matched-budget",
@@ -631,6 +669,50 @@ pub fn ext_baselines(scale: &Scale) -> Vec<Row> {
     rows
 }
 
+/// Extension experiment D: robustness under platform faults. Sweeps the
+/// task-expiry probability on a faulty platform (with mild attrition) and
+/// compares the default retry policy against fire-and-forget posting —
+/// the F1 each salvages and the degradation counters the run reports.
+pub fn ext_faults(scale: &Scale) -> Vec<Row> {
+    use bayescrowd::RetryPolicy;
+    use bc_crowd::{FaultConfig, FaultyPlatform};
+    let mut rows = Vec::new();
+    let w = Workload::nba(scale.nba_n, 0.1, 66);
+    for expiry in [0.0, 0.15, 0.3, 0.45] {
+        for (name, retry) in [
+            ("retry", RetryPolicy::default()),
+            ("no-retry", RetryPolicy::none()),
+        ] {
+            let config = BayesCrowdConfig {
+                retry,
+                ..default_config("NBA", scale)
+            };
+            let faults = FaultConfig {
+                expiry_prob: expiry,
+                attrition: 0.02,
+                ..FaultConfig::default()
+            };
+            let oracle = GroundTruthOracle::new(w.complete.clone());
+            let mut platform =
+                FaultyPlatform::new(SimulatedPlatform::new(oracle, 1.0, 67), faults, 68);
+            let r = BayesCrowd::new(config).run(&w.incomplete, &mut platform);
+            let mut metrics = report_metrics(&r);
+            metrics.push(("tasks_expired", r.tasks_expired as f64));
+            metrics.push(("tasks_retried", r.tasks_retried as f64));
+            metrics.push(("degraded", r.degraded as u8 as f64));
+            rows.push(Row::new(
+                "ext_faults",
+                format!("NBA/{name}"),
+                "expiry_prob",
+                expiry,
+                &metrics,
+            ));
+            eprintln!("ext_faults {name} expiry={expiry}: {}", r.summary());
+        }
+    }
+    rows
+}
+
 /// Runs every experiment.
 pub fn all(scale: &Scale) -> Vec<Row> {
     let mut rows = Vec::new();
@@ -648,6 +730,7 @@ pub fn all(scale: &Scale) -> Vec<Row> {
     rows.extend(ext_model(scale));
     rows.extend(ext_ranking(scale));
     rows.extend(ext_baselines(scale));
+    rows.extend(ext_faults(scale));
     rows
 }
 
@@ -696,7 +779,10 @@ mod tests {
                 .find(|r| r.series == "CrowdSky" && r.x == n as f64)
                 .unwrap();
             for s in ["BayesCrowd-FBS", "BayesCrowd-UBS", "BayesCrowd-HHS"] {
-                let bc = rows.iter().find(|r| r.series == s && r.x == n as f64).unwrap();
+                let bc = rows
+                    .iter()
+                    .find(|r| r.series == s && r.x == n as f64)
+                    .unwrap();
                 assert!(
                     cs.metrics["tasks"] > bc.metrics["tasks"],
                     "{s} at n={n}: CrowdSky {} vs {}",

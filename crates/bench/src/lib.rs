@@ -15,5 +15,5 @@ pub mod experiments;
 pub mod rows;
 pub mod workloads;
 
-pub use rows::{print_rows, Row};
+pub use rows::{print_rows, rows_to_json_pretty, Row};
 pub use workloads::{Scale, Workload};

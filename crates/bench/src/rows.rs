@@ -1,10 +1,12 @@
 //! A small result-table model shared by every experiment.
+//!
+//! JSON output is hand-rolled (and hand-parsed for the round-trip test)
+//! because the build environment has no registry access for `serde`.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// One measured point of one series of one experiment.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Row {
     /// Experiment id (`fig2`, `table6`, …).
     pub experiment: String,
@@ -32,11 +34,168 @@ impl Row {
             series: series.into(),
             x_name: x_name.into(),
             x,
-            metrics: metrics
-                .iter()
-                .map(|(k, v)| (k.to_string(), *v))
-                .collect(),
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
         }
+    }
+
+    /// Serializes the row as a single-line JSON object.
+    pub fn to_json(&self) -> String {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(k, v)| format!("{}: {:?}", json_string(k), v))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"experiment\": {}, \"series\": {}, \"x_name\": {}, \"x\": {:?}, \"metrics\": {{{metrics}}}}}",
+            json_string(&self.experiment),
+            json_string(&self.series),
+            json_string(&self.x_name),
+            self.x,
+        )
+    }
+
+    /// Parses a row from the JSON shape produced by [`Row::to_json`].
+    ///
+    /// Field order is free, unknown fields are rejected; this is a
+    /// round-trip check for our own output, not a general JSON parser.
+    pub fn from_json(s: &str) -> Option<Row> {
+        let mut p = JsonCursor::new(s);
+        let mut experiment = None;
+        let mut series = None;
+        let mut x_name = None;
+        let mut x = None;
+        let mut metrics = None;
+        p.expect('{')?;
+        loop {
+            let key = p.string()?;
+            p.expect(':')?;
+            match key.as_str() {
+                "experiment" => experiment = Some(p.string()?),
+                "series" => series = Some(p.string()?),
+                "x_name" => x_name = Some(p.string()?),
+                "x" => x = Some(p.number()?),
+                "metrics" => {
+                    let mut map = BTreeMap::new();
+                    p.expect('{')?;
+                    if !p.try_expect('}') {
+                        loop {
+                            let k = p.string()?;
+                            p.expect(':')?;
+                            map.insert(k, p.number()?);
+                            if !p.try_expect(',') {
+                                break;
+                            }
+                        }
+                        p.expect('}')?;
+                    }
+                    metrics = Some(map);
+                }
+                _ => return None,
+            }
+            if !p.try_expect(',') {
+                break;
+            }
+        }
+        p.expect('}')?;
+        Some(Row {
+            experiment: experiment?,
+            series: series?,
+            x_name: x_name?,
+            x: x?,
+            metrics: metrics?,
+        })
+    }
+}
+
+/// Serializes rows as a pretty-printed JSON array (one row object per line).
+pub fn rows_to_json_pretty(rows: &[Row]) -> String {
+    if rows.is_empty() {
+        return "[]".into();
+    }
+    let body = rows
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{body}\n]")
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal cursor over the JSON subset [`Row::to_json`] emits.
+struct JsonCursor<'a> {
+    rest: &'a str,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn new(s: &'a str) -> JsonCursor<'a> {
+        JsonCursor { rest: s }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn expect(&mut self, c: char) -> Option<()> {
+        self.skip_ws();
+        self.rest = self.rest.strip_prefix(c)?;
+        Some(())
+    }
+
+    fn try_expect(&mut self, c: char) -> bool {
+        self.expect(c).is_some()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        loop {
+            let (i, c) = chars.next()?;
+            match c {
+                '"' => {
+                    self.rest = &self.rest[i + 1..];
+                    return Some(out);
+                }
+                '\\' => match chars.next()?.1 {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<f64> {
+        self.skip_ws();
+        let end = self
+            .rest
+            .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+            .unwrap_or(self.rest.len());
+        let (num, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        num.parse().ok()
     }
 }
 
@@ -82,18 +241,41 @@ mod tests {
 
     #[test]
     fn row_construction() {
-        let r = Row::new("fig2", "NBA/Get-CTable", "missing_rate", 0.1, &[("time_ms", 12.5)]);
+        let r = Row::new(
+            "fig2",
+            "NBA/Get-CTable",
+            "missing_rate",
+            0.1,
+            &[("time_ms", 12.5)],
+        );
         assert_eq!(r.metrics["time_ms"], 12.5);
         assert_eq!(r.experiment, "fig2");
     }
 
     #[test]
     fn rows_serialize_to_json() {
-        let r = Row::new("fig3", "NBA/ADPLL", "missing_rate", 0.05, &[("time_ms", 1.0)]);
-        let s = serde_json::to_string(&r).unwrap();
+        let r = Row::new(
+            "fig3",
+            "NBA/ADPLL",
+            "missing_rate",
+            0.05,
+            &[("time_ms", 1.0)],
+        );
+        let s = r.to_json();
         assert!(s.contains("fig3"));
-        let back: Row = serde_json::from_str(&s).unwrap();
+        let back = Row::from_json(&s).unwrap();
         assert_eq!(back.series, "NBA/ADPLL");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn json_round_trips_escapes_and_empty_metrics() {
+        let r = Row::new("t", "a\"b\\c\nd", "x", -1.5e-3, &[]);
+        let back = Row::from_json(&r.to_json()).unwrap();
+        assert_eq!(back, r);
+        let arr = rows_to_json_pretty(&[r.clone(), r]);
+        assert!(arr.starts_with("[\n") && arr.ends_with("\n]"));
+        assert_eq!(rows_to_json_pretty(&[]), "[]");
     }
 
     #[test]

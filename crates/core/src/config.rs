@@ -3,6 +3,7 @@
 use crate::selection::ObjectRanking;
 use crate::strategy::TaskStrategy;
 use bc_bayes::ModelConfig;
+use bc_crowd::RetryPolicy;
 use bc_ctable::{CTableConfig, DominatorStrategy};
 use bc_solver::{AdpllSolver, MonteCarloSolver, NaiveSolver, Solver};
 
@@ -61,6 +62,10 @@ pub struct BayesCrowdConfig {
     pub propagate_answers: bool,
     /// Compute per-object probabilities on multiple threads.
     pub parallel: bool,
+    /// How tasks that come back unanswered (expired or inconsistent) are
+    /// re-queued. The default gives every failed task one more attempt;
+    /// `RetryPolicy::none()` restores fire-and-forget posting.
+    pub retry: RetryPolicy,
     /// Probability threshold above which an undecided object is reported as
     /// an answer (the paper uses 0.5).
     pub answer_threshold: f64,
@@ -80,6 +85,7 @@ impl Default for BayesCrowdConfig {
             conflict_free: true,
             propagate_answers: true,
             parallel: false,
+            retry: RetryPolicy::default(),
             answer_threshold: 0.5,
         }
     }

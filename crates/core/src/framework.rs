@@ -4,12 +4,34 @@ use crate::config::{BayesCrowdConfig, SolverKind};
 use crate::report::RunReport;
 use crate::selection::{assemble_round, rank_objects};
 use bc_bayes::{MissingValueModel, Pmf};
-use bc_crowd::{SimulatedPlatform, Task};
+use bc_crowd::{CrowdPlatform, Task, TaskAnswer, TaskOutcome};
 use bc_ctable::{build_ctable, CTable, CmpOp, ConstraintStore, Relation};
 use bc_data::{Accuracy, Dataset, ObjectId, VarId};
 use bc_solver::{AdpllSolver, Solver, VarDists};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
+
+/// A failed task waiting in the retry queue.
+#[derive(Clone, Copy, Debug)]
+struct PendingTask {
+    task: Task,
+    /// Posting attempts so far (≥ 1; the task failed each of them).
+    attempts: usize,
+    /// First round (1-based) the task may be re-posted in, per the retry
+    /// policy's backoff.
+    eligible_round: usize,
+}
+
+/// Whether a failed task is still worth re-posting: propagation may have
+/// decided everything its variables touch, in which case the answer would
+/// be useless.
+fn task_still_open(ctable: &CTable, task: &Task) -> bool {
+    let vars: BTreeSet<VarId> = task.vars().collect();
+    ctable
+        .open_objects()
+        .iter()
+        .any(|&o| !ctable.condition(o).vars().is_disjoint(&vars))
+}
 
 /// The crowd-assisted skyline query engine.
 #[derive(Clone, Debug)]
@@ -31,17 +53,23 @@ impl BayesCrowd {
     /// Runs the full query (Algorithm 1): modeling phase, then the iterative
     /// crowdsourcing phase against `platform`, and returns the answer set
     /// with all measurements. Accuracy is computed against the skyline of
-    /// the platform oracle's hidden complete dataset.
-    pub fn run(&self, data: &Dataset, platform: &mut SimulatedPlatform) -> RunReport {
+    /// the platform's ground truth, when it exposes one.
+    ///
+    /// The platform is any [`CrowdPlatform`] — tasks may come back expired
+    /// or inconsistent, in which case the configured
+    /// [`RetryPolicy`](bc_crowd::RetryPolicy) re-queues them under the same
+    /// budget `B` and latency `L`. When both run out with tasks still
+    /// unanswered the run *degrades* instead of failing: the c-table keeps
+    /// its symbolic variables, answer probabilities come from the current
+    /// posterior, and the report's `degraded`/`tasks_expired` fields say
+    /// what was given up.
+    pub fn run(&self, data: &Dataset, platform: &mut dyn CrowdPlatform) -> RunReport {
         let t_start = Instant::now();
 
         // ---- Modeling phase --------------------------------------------
         let model = MissingValueModel::learn(data, &self.config.model);
         let base_pmfs: BTreeMap<VarId, Pmf> = model.into_pmfs();
-        let mut dists: VarDists = base_pmfs
-            .iter()
-            .map(|(k, v)| (*k, v.clone()))
-            .collect();
+        let mut dists: VarDists = base_pmfs.iter().map(|(k, v)| (*k, v.clone())).collect();
         let mut ctable = build_ctable(data, &self.config.ctable_config());
         let modeling_time = t_start.elapsed();
 
@@ -50,54 +78,149 @@ impl BayesCrowd {
         let mut store = ConstraintStore::new(data);
         let mut budget = self.config.budget;
         let mu = self.config.tasks_per_round().max(1);
+        let retry = self.config.retry;
         let mut evals: u64 = 0;
+
+        // Failure bookkeeping. Latency is measured against the platform's
+        // own round counter (a straggling platform may consume several
+        // rounds per posted batch) plus locally idled backoff rounds.
+        let rounds_before = platform.stats().rounds;
+        let mut pending: Vec<PendingTask> = Vec::new();
+        let mut tasks_expired = 0usize;
+        let mut tasks_retried = 0usize;
+        let mut rounds_stalled = 0usize;
+        // Rounds spent posting nothing while queued tasks wait out their
+        // backoff. They consume latency (a real campaign waits through
+        // them) but never appear in the platform's round counter.
+        let mut idle_rounds = 0usize;
+        let mut round_idx = 0usize;
 
         // Condition probabilities are cached across rounds: a round's
         // answers only change the distributions of the variables they asked
         // about, so only conditions mentioning those variables need
         // re-solving.
         let mut prob_cache: BTreeMap<ObjectId, f64> = BTreeMap::new();
-        while budget > 0 && ctable.n_open_exprs() > 0 {
-            let open = ctable.open_objects();
-            let stale: Vec<ObjectId> = open
-                .iter()
-                .copied()
-                .filter(|o| !prob_cache.contains_key(o))
-                .collect();
-            let fresh = self.probabilities(&ctable, &stale, solver.as_ref(), &dists);
-            evals += fresh.len() as u64;
-            prob_cache.extend(fresh);
-            let probs: Vec<(ObjectId, f64)> = open
-                .iter()
-                .map(|o| (*o, prob_cache[o]))
-                .collect();
-            let ranked = rank_objects(&probs, self.config.ranking);
-            let limit = mu.min(budget);
-            let tasks = assemble_round(
-                &ranked,
-                &ctable,
-                self.config.strategy,
-                solver.as_ref(),
-                &dists,
-                limit,
-                self.config.conflict_free,
-            );
-            if tasks.is_empty() {
+        loop {
+            if budget == 0 || ctable.n_open_exprs() == 0 {
                 break;
             }
+            if self.config.latency > 0
+                && (platform.stats().rounds - rounds_before) + idle_rounds >= self.config.latency
+            {
+                break;
+            }
+            round_idx += 1;
+            let limit = mu.min(budget);
+
+            // Re-posts come first: failed tasks whose backoff has elapsed
+            // and whose answer is still useful (propagation may have decided
+            // everything they touch in the meantime — those drop quietly).
+            let mut batch: Vec<Task> = Vec::new();
+            let mut attempts_in_batch: Vec<usize> = Vec::new();
+            let mut waiting: Vec<PendingTask> = Vec::new();
+            for p in pending.drain(..) {
+                if !task_still_open(&ctable, &p.task) {
+                    continue;
+                }
+                if p.eligible_round <= round_idx && batch.len() < limit {
+                    batch.push(p.task);
+                    attempts_in_batch.push(p.attempts);
+                } else {
+                    waiting.push(p);
+                }
+            }
+            pending = waiting;
+            let n_retries = batch.len();
+            tasks_retried += n_retries;
+            if n_retries > 0 && retry.escalate_workers > 0 {
+                platform.escalate(retry.escalate_workers);
+            }
+
+            // Variables already spoken for: this round's re-posts and the
+            // queued tasks still backing off. Fresh selection must not ask
+            // about them a second time.
+            let mut reserved: BTreeSet<VarId> = batch.iter().flat_map(|t| t.vars()).collect();
+            reserved.extend(pending.iter().flat_map(|p| p.task.vars()));
+
+            if batch.len() < limit {
+                let open = ctable.open_objects();
+                let stale: Vec<ObjectId> = open
+                    .iter()
+                    .copied()
+                    .filter(|o| !prob_cache.contains_key(o))
+                    .collect();
+                let fresh = self.probabilities(&ctable, &stale, solver.as_ref(), &dists);
+                evals += fresh.len() as u64;
+                prob_cache.extend(fresh);
+                let probs: Vec<(ObjectId, f64)> =
+                    open.iter().map(|o| (*o, prob_cache[o])).collect();
+                let ranked = rank_objects(&probs, self.config.ranking);
+                let fresh_tasks = assemble_round(
+                    &ranked,
+                    &ctable,
+                    self.config.strategy,
+                    solver.as_ref(),
+                    &dists,
+                    limit - batch.len(),
+                    self.config.conflict_free,
+                    &reserved,
+                );
+                attempts_in_batch.resize(batch.len() + fresh_tasks.len(), 0);
+                batch.extend(fresh_tasks);
+            }
+
+            if batch.is_empty() {
+                if pending.is_empty() {
+                    break;
+                }
+                // Everything still owed is backing off: idle one round.
+                idle_rounds += 1;
+                rounds_stalled += 1;
+                continue;
+            }
+
             // Algorithm 4 line 8: B ← max(B − μ, 0). The full per-round
             // allowance is charged even if conflicts left some of it unused,
-            // which is what bounds the number of rounds by L.
+            // which is what bounds the number of rounds by L. Re-posts are
+            // tasks like any other and consume the same allowance.
             budget = budget.saturating_sub(limit);
 
-            let answers = platform.post_round(&tasks);
+            let results = platform.post_round(&batch);
+            let mut answers: Vec<TaskAnswer> = Vec::with_capacity(batch.len());
+            for (i, task) in batch.iter().enumerate() {
+                // Defensive against foreign platforms returning short result
+                // vectors: a missing result is an expired task.
+                let outcome = results
+                    .get(i)
+                    .map(|r| r.outcome)
+                    .unwrap_or(TaskOutcome::Expired);
+                match outcome {
+                    TaskOutcome::Answered(relation) => answers.push(TaskAnswer {
+                        task: *task,
+                        relation,
+                    }),
+                    TaskOutcome::Expired | TaskOutcome::Inconsistent => {
+                        let attempts = attempts_in_batch[i] + 1;
+                        if attempts < retry.max_attempts {
+                            pending.push(PendingTask {
+                                task: *task,
+                                attempts,
+                                eligible_round: round_idx + 1 + retry.backoff_rounds(attempts),
+                            });
+                        } else {
+                            tasks_expired += 1;
+                        }
+                    }
+                }
+            }
+            if answers.is_empty() {
+                rounds_stalled += 1;
+            }
             // Invalidate cached probabilities of conditions touching any
             // variable the round asked about (their pmfs and/or conditions
             // change below).
-            let touched: std::collections::BTreeSet<VarId> = answers
-                .iter()
-                .flat_map(|a| a.task.vars())
-                .collect();
+            let touched: std::collections::BTreeSet<VarId> =
+                answers.iter().flat_map(|a| a.task.vars()).collect();
             prob_cache.retain(|o, _| {
                 let cond = ctable.condition(*o);
                 !cond.is_decided() && cond.vars().is_disjoint(&touched)
@@ -135,7 +258,18 @@ impl BayesCrowd {
             }
         }
 
+        // Tasks still queued (and still useful) when budget or latency ran
+        // out never got their answer: graceful degradation, not an error.
+        tasks_expired += pending
+            .iter()
+            .filter(|p| task_still_open(&ctable, &p.task))
+            .count();
+        let degraded = tasks_expired > 0;
+
         // ---- Derive the answer set --------------------------------------
+        // Open conditions keep their symbolic variables; their objects are
+        // judged by the probability under the current posterior, exactly as
+        // in a fully-budgeted run that simply stopped earlier.
         let open = ctable.open_objects();
         let final_probs = self.probabilities(&ctable, &open, solver.as_ref(), &dists);
         evals += final_probs.len() as u64;
@@ -150,7 +284,9 @@ impl BayesCrowd {
         }
         result.sort_unstable();
 
-        let truth = bc_data::skyline::skyline_sfs(platform.oracle().complete()).ok();
+        let truth = platform
+            .ground_truth()
+            .and_then(|complete| bc_data::skyline::skyline_sfs(complete).ok());
         let accuracy = truth.map(|t| Accuracy::of(&result, &t));
 
         RunReport {
@@ -164,6 +300,10 @@ impl BayesCrowd {
             total_time: t_start.elapsed(),
             probability_evals: evals,
             open_exprs_left: ctable.n_open_exprs(),
+            tasks_expired,
+            tasks_retried,
+            rounds_stalled,
+            degraded,
         }
     }
 
@@ -179,29 +319,26 @@ impl BayesCrowd {
     ) -> Vec<(ObjectId, f64)> {
         let solve_one = |solver: &dyn Solver, o: ObjectId| -> (ObjectId, f64) {
             let cond = ctable.condition(o);
-            let p = solver
-                .probability(cond, dists)
-                .unwrap_or_else(|_| {
-                    AdpllSolver::new()
-                        .probability(cond, dists)
-                        .expect("ADPLL cannot overflow and every variable is modeled")
-                });
+            let p = solver.probability(cond, dists).unwrap_or_else(|_| {
+                AdpllSolver::new()
+                    .probability(cond, dists)
+                    .expect("ADPLL cannot overflow and every variable is modeled")
+            });
             (o, p)
         };
 
-        if self.config.parallel && objects.len() > 64 && self.config.solver == SolverKind::Adpll
-        {
+        if self.config.parallel && objects.len() > 64 && self.config.solver == SolverKind::Adpll {
             let n_threads = std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4)
                 .min(objects.len());
             let chunk = objects.len().div_ceil(n_threads);
             let mut out: Vec<(ObjectId, f64)> = Vec::with_capacity(objects.len());
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 let handles: Vec<_> = objects
                     .chunks(chunk)
                     .map(|slice| {
-                        s.spawn(move |_| {
+                        s.spawn(move || {
                             let local = AdpllSolver::new();
                             slice
                                 .iter()
@@ -213,8 +350,7 @@ impl BayesCrowd {
                 for h in handles {
                     out.extend(h.join().expect("probability worker panicked"));
                 }
-            })
-            .expect("crossbeam scope failed");
+            });
             out
         } else {
             objects.iter().map(|&o| solve_one(solver, o)).collect()
@@ -238,16 +374,9 @@ fn expr_truth(op: CmpOp, rel: Relation) -> bool {
 /// Convenience used by tests and examples: the answer set a machine-only
 /// pass would return (no crowdsourcing at all) — certain answers plus
 /// high-probability open objects.
-pub fn machine_only_answers(
-    data: &Dataset,
-    config: &BayesCrowdConfig,
-) -> (Vec<ObjectId>, CTable) {
+pub fn machine_only_answers(data: &Dataset, config: &BayesCrowdConfig) -> (Vec<ObjectId>, CTable) {
     let model = MissingValueModel::learn(data, &config.model);
-    let dists: VarDists = model
-        .pmfs()
-        .iter()
-        .map(|(k, v)| (*k, v.clone()))
-        .collect();
+    let dists: VarDists = model.pmfs().iter().map(|(k, v)| (*k, v.clone())).collect();
     let ctable = build_ctable(data, &config.ctable_config());
     let solver = AdpllSolver::new();
     let mut result = ctable.certain_answers();
@@ -267,7 +396,7 @@ pub fn machine_only_answers(
 mod tests {
     use super::*;
     use crate::strategy::TaskStrategy;
-    use bc_crowd::GroundTruthOracle;
+    use bc_crowd::{GroundTruthOracle, SimulatedPlatform};
     use bc_data::generators::sample::{paper_completion, paper_dataset};
 
     fn sample_config(strategy: TaskStrategy) -> BayesCrowdConfig {
@@ -296,11 +425,7 @@ mod tests {
         let report = run_sample(TaskStrategy::Hhs { m: 2 }, 1.0, 7);
         assert!(report.crowd.tasks_posted <= 6);
         assert!(report.crowd.rounds <= 3);
-        assert!(
-            report.accuracy.unwrap().f1 >= 0.8,
-            "{}",
-            report.summary()
-        );
+        assert!(report.accuracy.unwrap().f1 >= 0.8, "{}", report.summary());
         // The two machine-certain answers are always present.
         assert!(report.result.contains(&ObjectId(1)));
         assert!(report.result.contains(&ObjectId(2)));

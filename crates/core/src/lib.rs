@@ -20,6 +20,12 @@
 //! marginal utility, Definition 6), or **HHS** (frequency-ordered utility
 //! search with an `m`-lookahead stop — the paper's recommended balance).
 //!
+//! The run loop talks to any [`bc_crowd::CrowdPlatform`] — including a
+//! fault-injecting one ([`bc_crowd::FaultyPlatform`]) whose tasks can
+//! expire or come back inconsistent. Failed tasks are re-queued under the
+//! configured [`RetryPolicy`], still within `B` and `L`; when both run out
+//! first, the run degrades gracefully (see [`RunReport::degraded`]).
+//!
 //! ```
 //! use bayescrowd::{BayesCrowd, BayesCrowdConfig, TaskStrategy};
 //! use bc_crowd::{GroundTruthOracle, SimulatedPlatform};
@@ -46,6 +52,7 @@ pub mod report;
 pub mod selection;
 pub mod strategy;
 
+pub use bc_crowd::RetryPolicy;
 pub use config::{BayesCrowdConfig, SolverKind};
 pub use framework::BayesCrowd;
 pub use report::RunReport;

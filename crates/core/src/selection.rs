@@ -80,6 +80,11 @@ pub fn rank_objects(probs: &[(ObjectId, f64)], ranking: ObjectRanking) -> Vec<Ra
 /// `conflict_free`, no two selected tasks may share a variable — objects
 /// whose every expression conflicts are skipped (and more objects further
 /// down the ranking are considered instead).
+///
+/// `blocked` vars are off-limits from the start, in both modes: the
+/// framework reserves the variables of tasks already in flight (queued
+/// retries) so a round never asks about them twice.
+#[allow(clippy::too_many_arguments)] // the paper's Algorithm 4 inputs, passed as-is
 pub fn assemble_round(
     ranked: &[RankedObject],
     ctable: &CTable,
@@ -88,6 +93,7 @@ pub fn assemble_round(
     dists: &VarDists,
     limit: usize,
     conflict_free: bool,
+    blocked: &BTreeSet<VarId>,
 ) -> Vec<Task> {
     if limit == 0 {
         return Vec::new();
@@ -97,8 +103,7 @@ pub fn assemble_round(
     let top: Vec<ObjectId> = ranked.iter().take(limit).map(|r| r.object).collect();
     let freq = expression_frequencies(top.iter().map(|&o| ctable.condition(o)));
 
-    let mut used_vars: BTreeSet<VarId> = BTreeSet::new();
-    let empty: BTreeSet<VarId> = BTreeSet::new();
+    let mut used_vars: BTreeSet<VarId> = blocked.clone();
     let mut tasks = Vec::with_capacity(limit);
     for r in ranked {
         if tasks.len() >= limit {
@@ -108,10 +113,16 @@ pub fn assemble_round(
         if cond.is_decided() {
             continue;
         }
-        let blocked = if conflict_free { &used_vars } else { &empty };
-        let Some(expr) =
-            select_expression(strategy, cond, &freq, blocked, solver, dists, r.probability)
-        else {
+        let off_limits = if conflict_free { &used_vars } else { blocked };
+        let Some(expr) = select_expression(
+            strategy,
+            cond,
+            &freq,
+            off_limits,
+            solver,
+            dists,
+            r.probability,
+        ) else {
             continue;
         };
         let task = Task::from_expr(&expr);
@@ -136,11 +147,8 @@ mod tests {
 
     #[test]
     fn ranking_prefers_uncertain_objects() {
-        let ranked = rank_by_entropy(&[
-            (ObjectId(0), 0.95),
-            (ObjectId(1), 0.5),
-            (ObjectId(2), 0.7),
-        ]);
+        let ranked =
+            rank_by_entropy(&[(ObjectId(0), 0.95), (ObjectId(1), 0.5), (ObjectId(2), 0.7)]);
         assert_eq!(ranked[0].object, ObjectId(1));
         assert_eq!(ranked[1].object, ObjectId(2));
         assert_eq!(ranked[2].object, ObjectId(0));
@@ -149,8 +157,7 @@ mod tests {
 
     #[test]
     fn random_ranking_is_a_seeded_permutation() {
-        let probs: Vec<(ObjectId, f64)> =
-            (0..10).map(|i| (ObjectId(i), 0.1 * i as f64)).collect();
+        let probs: Vec<(ObjectId, f64)> = (0..10).map(|i| (ObjectId(i), 0.1 * i as f64)).collect();
         let a = rank_objects(&probs, ObjectRanking::Random { seed: 4 });
         let b = rank_objects(&probs, ObjectRanking::Random { seed: 4 });
         assert_eq!(a, b, "same seed, same order");
@@ -195,6 +202,7 @@ mod tests {
             &dists,
             2,
             true,
+            &BTreeSet::new(),
         );
         assert_eq!(tasks.len(), 2);
         assert!(!tasks[0].conflicts_with(&tasks[1]));
@@ -215,9 +223,39 @@ mod tests {
             &dists,
             2,
             false,
+            &BTreeSet::new(),
         );
         assert_eq!(tasks.len(), 2);
         assert!(tasks[0].conflicts_with(&tasks[1]));
+    }
+
+    #[test]
+    fn blocked_vars_are_off_limits_in_both_modes() {
+        let (ct, dists) = two_object_setup();
+        let solver = AdpllSolver::new();
+        let ranked = rank_by_entropy(&[(ObjectId(0), 0.5), (ObjectId(1), 0.6)]);
+        // Reserving x forces every selected task onto other variables.
+        let blocked: BTreeSet<VarId> = [v(9, 0)].into_iter().collect();
+        for conflict_free in [true, false] {
+            let tasks = assemble_round(
+                &ranked,
+                &ct,
+                TaskStrategy::Fbs,
+                &solver,
+                &dists,
+                2,
+                conflict_free,
+                &blocked,
+            );
+            assert!(
+                tasks
+                    .iter()
+                    .all(|t| t.vars().all(|var| !blocked.contains(&var))),
+                "cf={conflict_free}: selected a blocked variable in {tasks:?}"
+            );
+            // Only o1 has a non-x expression, so exactly one task fits.
+            assert_eq!(tasks.len(), 1, "cf={conflict_free}");
+        }
     }
 
     #[test]
@@ -233,8 +271,19 @@ mod tests {
             &dists,
             1,
             true,
+            &BTreeSet::new(),
         );
         assert_eq!(tasks.len(), 1);
-        assert!(assemble_round(&ranked, &ct, TaskStrategy::Fbs, &solver, &dists, 0, true).is_empty());
+        assert!(assemble_round(
+            &ranked,
+            &ct,
+            TaskStrategy::Fbs,
+            &solver,
+            &dists,
+            0,
+            true,
+            &BTreeSet::new()
+        )
+        .is_empty());
     }
 }

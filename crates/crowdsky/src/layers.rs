@@ -13,12 +13,7 @@ pub fn obs_not_worse(data: &Dataset, u: ObjectId, v: ObjectId, observed: &[AttrI
 }
 
 /// Whether `u` strictly beats `v` somewhere on the observed attributes.
-pub fn obs_strictly_better(
-    data: &Dataset,
-    u: ObjectId,
-    v: ObjectId,
-    observed: &[AttrId],
-) -> bool {
+pub fn obs_strictly_better(data: &Dataset, u: ObjectId, v: ObjectId, observed: &[AttrId]) -> bool {
     observed.iter().any(|&a| {
         data.get(u, a).expect("observed attribute must be present")
             > data.get(v, a).expect("observed attribute must be present")
@@ -41,7 +36,10 @@ pub fn skyline_layers(data: &Dataset, observed: &[AttrId]) -> Vec<Vec<ObjectId>>
             .copied()
             .filter(|&v| !remaining.iter().any(|&u| u != v && dominates(u, v)))
             .collect();
-        debug_assert!(!layer.is_empty(), "a finite partial order always has maxima");
+        debug_assert!(
+            !layer.is_empty(),
+            "a finite partial order always has maxima"
+        );
         remaining.retain(|o| !layer.contains(o));
         layers.push(layer);
     }
@@ -85,8 +83,8 @@ pub fn split_attributes(data: &Dataset) -> (Vec<AttrId>, Vec<AttrId>) {
 mod tests {
     use super::*;
     use bc_data::domain::uniform_domains;
-    use bc_data::Value;
     use bc_data::missing::mask_attributes;
+    use bc_data::Value;
 
     fn ds(rows: Vec<Vec<Value>>) -> Dataset {
         let d = rows[0].len();
@@ -119,7 +117,12 @@ mod tests {
         assert!(obs_not_worse(&data, ObjectId(0), ObjectId(1), &attrs));
         assert!(!obs_not_worse(&data, ObjectId(1), ObjectId(0), &attrs));
         assert!(obs_strictly_better(&data, ObjectId(0), ObjectId(1), &attrs));
-        assert!(!obs_strictly_better(&data, ObjectId(1), ObjectId(1), &attrs));
+        assert!(!obs_strictly_better(
+            &data,
+            ObjectId(1),
+            ObjectId(1),
+            &attrs
+        ));
         // Incomparable pair.
         assert!(!obs_not_worse(&data, ObjectId(0), ObjectId(2), &attrs));
     }

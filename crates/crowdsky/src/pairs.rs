@@ -137,7 +137,10 @@ mod tests {
     fn cache_is_symmetric_and_deduplicates() {
         let mut cache = ComparisonCache::default();
         cache.record(ObjectId(0), ObjectId(1), AttrId(0), Relation::Gt);
-        assert_eq!(cache.get(ObjectId(1), ObjectId(0), AttrId(0)), Some(Relation::Lt));
+        assert_eq!(
+            cache.get(ObjectId(1), ObjectId(0), AttrId(0)),
+            Some(Relation::Lt)
+        );
         assert_eq!(cache.len(), 1);
     }
 

@@ -1,8 +1,10 @@
 //! The CrowdSky algorithm driver.
 
-use crate::layers::{layer_index, obs_not_worse, obs_strictly_better, skyline_layers, split_attributes};
+use crate::layers::{
+    layer_index, obs_not_worse, obs_strictly_better, skyline_layers, split_attributes,
+};
 use crate::pairs::{ComparisonCache, Pair, PairState};
-use bc_crowd::{CrowdStats, SimulatedPlatform, Task};
+use bc_crowd::{CrowdPlatform, CrowdStats, Task, TaskOutcome};
 use bc_ctable::Operand;
 use bc_data::{Accuracy, Dataset, ObjectId, VarId};
 use std::time::{Duration, Instant};
@@ -36,6 +38,10 @@ pub struct CrowdSkyReport {
     pub n_pairs: usize,
     /// Algorithm wall-clock time.
     pub total_time: Duration,
+    /// Whether the run gave up with comparisons still unresolved because
+    /// the platform stopped producing answers; undominated-so-far objects
+    /// are then reported as the (best-effort) skyline.
+    pub degraded: bool,
 }
 
 /// The CrowdSky baseline engine.
@@ -56,7 +62,7 @@ impl CrowdSky {
     /// # Panics
     ///
     /// Panics if some attribute is partially missing.
-    pub fn run(&self, data: &Dataset, platform: &mut SimulatedPlatform) -> CrowdSkyReport {
+    pub fn run(&self, data: &Dataset, platform: &mut dyn CrowdPlatform) -> CrowdSkyReport {
         let t0 = Instant::now();
         let (observed, crowd_attrs) = split_attributes(data);
         let layers = skyline_layers(data, &observed);
@@ -94,6 +100,8 @@ impl CrowdSky {
             }
         }
 
+        let mut consecutive_stalls = 0usize;
+        let mut degraded = false;
         loop {
             // Collect the next batch of unknown comparisons.
             let mut batch: Vec<Task> = Vec::with_capacity(self.config.round_size);
@@ -115,8 +123,14 @@ impl CrowdSky {
                         continue;
                     }
                     batch.push(Task {
-                        var: VarId { object: p.u, attr: a },
-                        rhs: Operand::Var(VarId { object: p.v, attr: a }),
+                        var: VarId {
+                            object: p.u,
+                            attr: a,
+                        },
+                        rhs: Operand::Var(VarId {
+                            object: p.v,
+                            attr: a,
+                        }),
                     });
                     batch_keys.push((p.u, p.v, a));
                 }
@@ -124,13 +138,31 @@ impl CrowdSky {
             if batch.is_empty() {
                 break;
             }
-            let answers = platform.post_round(&batch);
-            for (ans, &(u, v, a)) in answers.iter().zip(&batch_keys) {
+            let results = platform.post_round(&batch);
+            let mut any_answer = false;
+            for (res, &(u, v, a)) in results.iter().zip(&batch_keys) {
                 // Task var is Var(u, a); but Task construction may have
                 // canonical var ordering only for expressions — here we
                 // built the task directly, so the relation is u's side.
-                debug_assert_eq!(ans.task.var.object, u);
-                cache.record(u, v, a, ans.relation);
+                debug_assert_eq!(res.task.var.object, u);
+                if let TaskOutcome::Answered(relation) = res.outcome {
+                    cache.record(u, v, a, relation);
+                    any_answer = true;
+                }
+                // Expired/Inconsistent: the comparison stays unknown and is
+                // naturally re-selected next round.
+            }
+            if any_answer {
+                consecutive_stalls = 0;
+            } else {
+                consecutive_stalls += 1;
+                if consecutive_stalls >= 3 {
+                    // The platform has stopped producing answers (e.g. total
+                    // workforce attrition): report the undominated objects
+                    // seen so far instead of looping forever.
+                    degraded = true;
+                    break;
+                }
             }
             // Update domination knowledge.
             for p in &pairs {
@@ -143,11 +175,10 @@ impl CrowdSky {
             }
         }
 
-        let result: Vec<ObjectId> = data
-            .objects()
-            .filter(|o| !dominated[o.index()])
-            .collect();
-        let truth = bc_data::skyline::skyline_sfs(platform.oracle().complete()).ok();
+        let result: Vec<ObjectId> = data.objects().filter(|o| !dominated[o.index()]).collect();
+        let truth = platform
+            .ground_truth()
+            .and_then(|complete| bc_data::skyline::skyline_sfs(complete).ok());
         let accuracy = truth.map(|t| Accuracy::of(&result, &t));
 
         CrowdSkyReport {
@@ -157,6 +188,7 @@ impl CrowdSky {
             n_layers: layers.len(),
             n_pairs,
             total_time: t0.elapsed(),
+            degraded,
         }
     }
 }
@@ -164,7 +196,7 @@ impl CrowdSky {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bc_crowd::GroundTruthOracle;
+    use bc_crowd::{FaultConfig, FaultyPlatform, GroundTruthOracle, SimulatedPlatform};
     use bc_data::generators::classic::independent;
     use bc_data::missing::mask_attributes;
     use bc_data::AttrId;
@@ -209,6 +241,25 @@ mod tests {
             report.result,
             bc_data::skyline::skyline_bnl(&complete).unwrap()
         );
+    }
+
+    #[test]
+    fn dead_platform_degrades_instead_of_looping() {
+        // The entire workforce quits after the first round; the stall guard
+        // must terminate the run and flag it as degraded.
+        let (complete, masked) = setup(40, 9);
+        let oracle = GroundTruthOracle::new(complete);
+        let inner = SimulatedPlatform::new(oracle, 1.0, 17);
+        let cfg = FaultConfig {
+            attrition: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut platform = FaultyPlatform::new(inner, cfg, 23);
+        let report = CrowdSky::default().run(&masked, &mut platform);
+        assert!(report.degraded);
+        assert!(!report.result.is_empty(), "best-effort skyline is reported");
+        // One productive round, then three all-expired rounds trip the guard.
+        assert!(report.crowd.rounds <= 5, "rounds = {}", report.crowd.rounds);
     }
 
     #[test]

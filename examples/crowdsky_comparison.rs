@@ -63,7 +63,5 @@ fn main() {
 
     let task_ratio = cs.crowd.tasks_posted as f64 / bc.crowd.tasks_posted.max(1) as f64;
     let round_ratio = cs.crowd.rounds as f64 / bc.crowd.rounds.max(1) as f64;
-    println!(
-        "\nBayesCrowd needs {task_ratio:.1}× fewer tasks and {round_ratio:.1}× fewer rounds."
-    );
+    println!("\nBayesCrowd needs {task_ratio:.1}× fewer tasks and {round_ratio:.1}× fewer rounds.");
 }

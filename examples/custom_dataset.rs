@@ -29,20 +29,30 @@ fn main() {
         vec![Some(210.0), Some(4.8), None],
     ];
     let names = [
-        "Seaview", "Budget Inn", "Grand Palace", "City Stop", "Harbor",
-        "Mystery Deal", "Backpacker", "Royal Sands",
+        "Seaview",
+        "Budget Inn",
+        "Grand Palace",
+        "City Stop",
+        "Harbor",
+        "Mystery Deal",
+        "Backpacker",
+        "Royal Sands",
     ];
 
     // 1. Discretize each column into 8 ranges (equi-depth handles the
     //    skewed price distribution gracefully).
-    let discrete = discretize_rows("hotels", &raw, 8, Binning::EquiDepth)
-        .expect("well-formed raw table");
+    let discrete =
+        discretize_rows("hotels", &raw, 8, Binning::EquiDepth).expect("well-formed raw table");
 
     // 2. Price and distance are minimized; reflect them so the standard
     //    larger-is-better skyline applies.
-    let directions = [Direction::Minimize, Direction::Maximize, Direction::Minimize];
-    let normalized = normalize_directions(&discrete, &directions)
-        .expect("one direction per attribute");
+    let directions = [
+        Direction::Minimize,
+        Direction::Maximize,
+        Direction::Minimize,
+    ];
+    let normalized =
+        normalize_directions(&discrete, &directions).expect("one direction per attribute");
 
     println!("normalized dataset (CSV dialect):\n{}", to_csv(&normalized));
 
@@ -64,6 +74,10 @@ fn main() {
         ctable.open_objects().len()
     );
     for o in ctable.open_objects() {
-        println!("  open: {} — condition {}", names[o.index()], ctable.condition(o));
+        println!(
+            "  open: {} — condition {}",
+            names[o.index()],
+            ctable.condition(o)
+        );
     }
 }

@@ -15,7 +15,7 @@ use bayescrowd::{BayesCrowd, BayesCrowdConfig, TaskStrategy};
 use bc_crowd::{GroundTruthOracle, SimulatedPlatform};
 use bc_data::generators::classic::correlated;
 use bc_data::missing::inject_mcar;
-use bc_data::{Accuracy, skyline::skyline_sfs};
+use bc_data::{skyline::skyline_sfs, Accuracy};
 
 fn main() {
     // 400 movies, 6 audience groups, ratings 0..9; tastes correlate (good

@@ -9,14 +9,18 @@
 
 use bayescrowd::{BayesCrowd, BayesCrowdConfig, TaskStrategy};
 use bc_crowd::{GroundTruthOracle, SimulatedPlatform};
-use bc_ctable::{build_ctable, CTableConfig, DominatorStrategy};
 use bc_ctable::dominators::DominatorIndex;
+use bc_ctable::{build_ctable, CTableConfig, DominatorStrategy};
 use bc_data::generators::sample::{paper_completion, paper_dataset};
 
 fn main() {
     // ---- Table 1: the sample dataset -----------------------------------
     let data = paper_dataset();
-    println!("Table 1 — the sample dataset ({} movies, {} audiences):", data.n_objects(), data.n_attrs());
+    println!(
+        "Table 1 — the sample dataset ({} movies, {} audiences):",
+        data.n_objects(),
+        data.n_attrs()
+    );
     let names = [
         "Schindler's List",
         "Se7en",
@@ -75,7 +79,12 @@ fn main() {
     let report = BayesCrowd::new(config).run(&data, &mut platform);
 
     for (i, ta) in platform.log().iter().enumerate() {
-        println!("  task {}: {}  →  {:?}", i + 1, ta.task.question(), ta.relation);
+        println!(
+            "  task {}: {}  →  {:?}",
+            i + 1,
+            ta.task.question(),
+            ta.relation
+        );
     }
     println!("\nResult set R = {:?}", report.result);
     println!("{}", report.summary());

@@ -10,11 +10,16 @@
 //! bayescrowd-cli simulate --data movies.csv --complete movies_full.csv \
 //!     --budget 50 --latency 5 --alpha 0.01 --strategy hhs --m 15 \
 //!     --worker-accuracy 0.95 --seed 42
+//!
+//! # The same run against a misbehaving crowd: 20% of tasks expire, 5% of
+//! # the workforce quits each round, and failed tasks get 3 attempts.
+//! bayescrowd-cli simulate --data movies.csv --complete movies_full.csv \
+//!     --expiry 0.2 --attrition 0.05 --max-attempts 3
 //! ```
 
 use bayescrowd::framework::machine_only_answers;
 use bayescrowd::{BayesCrowd, BayesCrowdConfig, TaskStrategy};
-use bc_crowd::{GroundTruthOracle, SimulatedPlatform};
+use bc_crowd::{FaultConfig, FaultyPlatform, GroundTruthOracle, RetryPolicy, SimulatedPlatform};
 use bc_data::csv::parse_csv;
 use bc_data::Dataset;
 use std::process::exit;
@@ -30,13 +35,21 @@ struct Args {
     m: usize,
     worker_accuracy: f64,
     seed: u64,
+    expiry: f64,
+    attrition: f64,
+    spammer_rate: f64,
+    max_attempts: usize,
+    escalate_workers: usize,
+    backoff: usize,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: bayescrowd-cli <machine|simulate> --data FILE.csv \
          [--complete FILE.csv] [--budget N] [--latency N] [--alpha F] \
-         [--strategy fbs|ubs|hhs] [--m N] [--worker-accuracy F] [--seed N]"
+         [--strategy fbs|ubs|hhs] [--m N] [--worker-accuracy F] [--seed N] \
+         [--expiry F] [--attrition F] [--spammer-rate F] \
+         [--max-attempts N] [--escalate-workers N] [--backoff N]"
     );
     exit(2);
 }
@@ -53,6 +66,12 @@ fn parse_args() -> Args {
         m: 15,
         worker_accuracy: 1.0,
         seed: 42,
+        expiry: 0.0,
+        attrition: 0.0,
+        spammer_rate: 0.0,
+        max_attempts: 2,
+        escalate_workers: 0,
+        backoff: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -75,6 +94,18 @@ fn parse_args() -> Args {
                 args.worker_accuracy = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--seed" => args.seed = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--expiry" => args.expiry = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--attrition" => args.attrition = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--spammer-rate" => {
+                args.spammer_rate = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--max-attempts" => {
+                args.max_attempts = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--escalate-workers" => {
+                args.escalate_workers = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--backoff" => args.backoff = value(&mut i).parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
         i += 1;
@@ -119,6 +150,11 @@ fn main() {
         alpha: args.alpha,
         strategy,
         parallel: true,
+        retry: RetryPolicy {
+            max_attempts: args.max_attempts.max(1),
+            escalate_workers: args.escalate_workers,
+            backoff_base: args.backoff,
+        },
         ..Default::default()
     };
 
@@ -138,13 +174,44 @@ fn main() {
             };
             let complete = load(complete_path);
             let oracle = GroundTruthOracle::new(complete);
-            let mut platform = SimulatedPlatform::new(oracle, args.worker_accuracy, args.seed);
-            let report = BayesCrowd::new(config).run(&data, &mut platform);
+            let sim = SimulatedPlatform::new(oracle, args.worker_accuracy, args.seed);
+            for (flag, p) in [
+                ("--expiry", args.expiry),
+                ("--attrition", args.attrition),
+                ("--spammer-rate", args.spammer_rate),
+            ] {
+                if !(0.0..=1.0).contains(&p) {
+                    eprintln!("{flag} must be a probability in [0, 1], got {p}");
+                    exit(2);
+                }
+            }
+            let faults = FaultConfig {
+                expiry_prob: args.expiry,
+                attrition: args.attrition,
+                spammer_rate: args.spammer_rate,
+                ..FaultConfig::default()
+            };
+            let engine = BayesCrowd::new(config);
+            // Only wrap when faults were requested, so fault-free runs stay
+            // bit-identical to earlier versions under the same seed.
+            let report = if faults == FaultConfig::default() {
+                let mut platform = sim;
+                engine.run(&data, &mut platform)
+            } else {
+                let mut platform = FaultyPlatform::new(sim, faults, args.seed ^ 0x5eed);
+                engine.run(&data, &mut platform)
+            };
             println!("answers ({} objects):", report.result.len());
             for o in &report.result {
                 println!("  {o}");
             }
             println!("{}", report.summary());
+            if report.degraded {
+                println!(
+                    "degraded: gave up on {} task(s) after {} retries and {} stalled round(s)",
+                    report.tasks_expired, report.tasks_retried, report.rounds_stalled
+                );
+            }
             if let Some(acc) = report.accuracy {
                 println!(
                     "precision {:.3}  recall {:.3}  F1 {:.3}",

@@ -13,4 +13,3 @@ pub use bc_data;
 pub use bc_solver;
 pub use crowdimpute;
 pub use crowdsky;
-

@@ -8,7 +8,12 @@ use rand::SeedableRng;
 /// Builds a random network over `n` nodes with random-ish CPTs. Structure:
 /// each node may take one or two of the previous nodes as parents, so the
 /// graph is a DAG by construction.
-fn random_network(n: usize, card: usize, parent_choices: &[u8], weights: &[f64]) -> BayesianNetwork {
+fn random_network(
+    n: usize,
+    card: usize,
+    parent_choices: &[u8],
+    weights: &[f64],
+) -> BayesianNetwork {
     let mut dag = Dag::empty(n);
     for child in 1..n {
         let code = parent_choices[child % parent_choices.len()];
@@ -51,11 +56,7 @@ fn joint(bn: &BayesianNetwork, assignment: &[u16]) -> f64 {
 }
 
 /// Brute-force posterior by enumerating the joint.
-fn posterior_by_enumeration(
-    bn: &BayesianNetwork,
-    target: usize,
-    evidence: &[(usize, u16)],
-) -> Pmf {
+fn posterior_by_enumeration(bn: &BayesianNetwork, target: usize, evidence: &[(usize, u16)]) -> Pmf {
     let n = bn.n_nodes();
     let card = bn.cards()[target];
     let mut weights = vec![0.0; card];

@@ -34,7 +34,13 @@ fn write_temp(name: &str, text: &str) -> std::path::PathBuf {
 fn machine_mode_reports_answers_and_stats() {
     let data = write_temp("m_inc.csv", INCOMPLETE);
     let out = cli()
-        .args(["machine", "--data", data.to_str().unwrap(), "--alpha", "1.0"])
+        .args([
+            "machine",
+            "--data",
+            data.to_str().unwrap(),
+            "--alpha",
+            "1.0",
+        ])
         .output()
         .expect("binary runs");
     assert!(out.status.success(), "{out:?}");

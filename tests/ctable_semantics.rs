@@ -10,8 +10,8 @@
 //! where the equivalence is exact. Soundness (a true condition implies
 //! skyline membership... and vice versa) then holds in both directions.
 
-use bc_ctable::{build_ctable, CTableConfig, Condition, DominatorStrategy};
 use bc_ctable::dominators::{baseline_dominator_set, DominatorIndex};
+use bc_ctable::{build_ctable, CTableConfig, Condition, DominatorStrategy};
 use bc_data::domain::uniform_domains;
 use bc_data::skyline::skyline_bnl;
 use bc_data::{Dataset, VarId};

@@ -85,12 +85,9 @@ fn single_object_dataset() {
         vec![vec![Some(1), None, Some(3)]],
     )
     .unwrap();
-    let complete = Dataset::from_complete_rows(
-        "one",
-        uniform_domains(3, 4).unwrap(),
-        vec![vec![1, 2, 3]],
-    )
-    .unwrap();
+    let complete =
+        Dataset::from_complete_rows("one", uniform_domains(3, 4).unwrap(), vec![vec![1, 2, 3]])
+            .unwrap();
     let oracle = GroundTruthOracle::new(complete);
     let mut platform = SimulatedPlatform::new(oracle, 1.0, 9);
     let report = BayesCrowd::new(config(TaskStrategy::Fbs)).run(&incomplete, &mut platform);
@@ -107,15 +104,13 @@ fn all_identical_objects() {
     let n = 6;
     let rows = vec![vec![Some(2), Some(2)]; n];
     let incomplete = Dataset::from_rows("dup", uniform_domains(2, 4).unwrap(), rows).unwrap();
-    let complete = Dataset::from_complete_rows(
-        "dup",
-        uniform_domains(2, 4).unwrap(),
-        vec![vec![2, 2]; n],
-    )
-    .unwrap();
+    let complete =
+        Dataset::from_complete_rows("dup", uniform_domains(2, 4).unwrap(), vec![vec![2, 2]; n])
+            .unwrap();
     let oracle = GroundTruthOracle::new(complete);
     let mut platform = SimulatedPlatform::new(oracle, 1.0, 10);
-    let report = BayesCrowd::new(config(TaskStrategy::Hhs { m: 2 })).run(&incomplete, &mut platform);
+    let report =
+        BayesCrowd::new(config(TaskStrategy::Hhs { m: 2 })).run(&incomplete, &mut platform);
     assert_eq!(report.result.len(), n, "ties never dominate");
     assert_eq!(report.crowd.tasks_posted, 0);
 }
@@ -138,7 +133,7 @@ fn contradictory_answers_leave_a_consistent_engine() {
     let report = BayesCrowd::new(cfg).run(&incomplete, &mut platform);
     assert!(report.crowd.tasks_posted <= 100);
     // Probabilities reported for still-open objects stay within [0, 1].
-    for (_, p) in &report.open_probabilities {
+    for p in report.open_probabilities.values() {
         assert!((0.0..=1.0).contains(p), "probability {p} out of range");
     }
 }
@@ -168,4 +163,309 @@ fn crowdsky_rejects_mcar_data() {
     let oracle = GroundTruthOracle::new(complete);
     let mut platform = SimulatedPlatform::new(oracle, 1.0, 17);
     let _ = CrowdSky::new(CrowdSkyConfig::default()).run(&incomplete, &mut platform);
+}
+
+// ---------------------------------------------------------------------------
+// Fault matrix: FaultyPlatform + RetryPolicy against the framework's
+// budget/latency contracts and graceful-degradation guarantees.
+// ---------------------------------------------------------------------------
+
+use bayescrowd::{RetryPolicy, RunReport};
+use bc_crowd::{
+    CrowdPlatform, CrowdStats, FaultConfig, FaultyPlatform, SpammerKind, Task, TaskOutcome,
+    TaskResult,
+};
+use bc_ctable::{Operand, Relation};
+
+const MATRIX_STRATEGIES: [TaskStrategy; 3] = [
+    TaskStrategy::Fbs,
+    TaskStrategy::Ubs,
+    TaskStrategy::Hhs { m: 3 },
+];
+
+fn faulty_workload() -> (Dataset, Dataset) {
+    let complete = complete_random(60, 3, 8, 21);
+    let (incomplete, _) = bc_data::missing::inject_mcar(&complete, 0.25, 22);
+    (complete, incomplete)
+}
+
+fn run_with_faults(
+    strategy: TaskStrategy,
+    faults: FaultConfig,
+    retry: RetryPolicy,
+    budget: usize,
+    latency: usize,
+) -> RunReport {
+    let (complete, incomplete) = faulty_workload();
+    let cfg = BayesCrowdConfig {
+        budget,
+        latency,
+        alpha: 1.0,
+        strategy,
+        retry,
+        ..Default::default()
+    };
+    let inner = SimulatedPlatform::new(GroundTruthOracle::new(complete), 1.0, 23);
+    let mut platform = FaultyPlatform::new(inner, faults, 24);
+    BayesCrowd::new(cfg).run(&incomplete, &mut platform)
+}
+
+fn assert_contracts(report: &RunReport, budget: usize, latency: usize, label: &str) {
+    assert!(
+        report.crowd.tasks_posted <= budget,
+        "{label}: {} tasks posted over budget {budget}",
+        report.crowd.tasks_posted
+    );
+    assert!(
+        report.crowd.rounds <= latency,
+        "{label}: {} rounds over latency {latency}",
+        report.crowd.rounds
+    );
+    for p in report.open_probabilities.values() {
+        assert!((0.0..=1.0).contains(p), "{label}: probability {p}");
+    }
+}
+
+/// Acceptance: a seeded 30%-expiry run with retries enabled terminates
+/// within B and L, reports its degradation honestly, and lands within 0.15
+/// F1 of the fault-free run on the same platform seed.
+#[test]
+fn thirty_percent_expiry_with_retries_stays_close_to_fault_free() {
+    let (budget, latency) = (60, 10);
+    for strategy in MATRIX_STRATEGIES {
+        let clean = run_with_faults(
+            strategy,
+            FaultConfig::default(),
+            RetryPolicy::default(),
+            budget,
+            latency,
+        );
+        assert!(!clean.degraded, "no faults, nothing to give up on");
+        assert_eq!(clean.tasks_expired, 0);
+
+        let faulty = run_with_faults(
+            strategy,
+            FaultConfig {
+                expiry_prob: 0.3,
+                ..FaultConfig::default()
+            },
+            RetryPolicy::default(),
+            budget,
+            latency,
+        );
+        assert_contracts(&faulty, budget, latency, "expiry-30");
+        assert!(
+            faulty.tasks_retried > 0,
+            "30% expiry must trigger re-posts: {}",
+            faulty.summary()
+        );
+        let f1_clean = clean.accuracy.unwrap().f1;
+        let f1_faulty = faulty.accuracy.unwrap().f1;
+        assert!(
+            (f1_clean - f1_faulty).abs() <= 0.15,
+            "{}: faulty f1 {f1_faulty:.3} strayed from clean {f1_clean:.3}",
+            strategy.name()
+        );
+    }
+}
+
+/// Total workforce attrition after the first round: everything later
+/// expires, retries can't help, and the run must degrade instead of hanging.
+#[test]
+fn total_attrition_mid_run_degrades_gracefully() {
+    let (budget, latency) = (60, 10);
+    for strategy in MATRIX_STRATEGIES {
+        let report = run_with_faults(
+            strategy,
+            FaultConfig {
+                attrition: 1.0,
+                ..FaultConfig::default()
+            },
+            RetryPolicy::default(),
+            budget,
+            latency,
+        );
+        assert_contracts(&report, budget, latency, "attrition-total");
+        assert!(
+            report.degraded,
+            "{}: a dead workforce must degrade the run: {}",
+            strategy.name(),
+            report.summary()
+        );
+        assert!(report.tasks_expired > 0, "{}", report.summary());
+        // Certain answers derived before the collapse are still reported.
+        for o in &report.result {
+            assert!(o.index() < 60);
+        }
+    }
+}
+
+/// Adversarial spammers who always invert the truth: answers are worse than
+/// useless, but the run still honors its contracts and returns a
+/// well-formed (if wrong) answer set.
+#[test]
+fn adversarial_spammers_never_break_the_contracts() {
+    let (budget, latency) = (60, 10);
+    for strategy in MATRIX_STRATEGIES {
+        let report = run_with_faults(
+            strategy,
+            FaultConfig {
+                spammer_rate: 1.0,
+                spammer_kind: SpammerKind::Adversarial,
+                ..FaultConfig::default()
+            },
+            RetryPolicy::default(),
+            budget,
+            latency,
+        );
+        assert_contracts(&report, budget, latency, "adversarial");
+        for o in &report.result {
+            assert!(o.index() < 60);
+        }
+    }
+}
+
+/// The full storm at once — expiry, attrition, spam, stragglers, and
+/// duplicates, with escalating backed-off retries — must terminate cleanly.
+#[test]
+fn combined_fault_storm_terminates_within_contracts() {
+    let (budget, latency) = (60, 10);
+    let report = run_with_faults(
+        TaskStrategy::Hhs { m: 3 },
+        FaultConfig {
+            expiry_prob: 0.25,
+            attrition: 0.1,
+            spammer_rate: 0.2,
+            spammer_kind: SpammerKind::Fixed(Relation::Gt),
+            straggler_prob: 0.3,
+            straggler_penalty: 1,
+            duplicate_prob: 0.15,
+        },
+        RetryPolicy {
+            max_attempts: 3,
+            escalate_workers: 2,
+            backoff_base: 1,
+        },
+        budget,
+        latency,
+    );
+    assert!(report.crowd.tasks_posted <= budget);
+    // Stragglers may overshoot the final round's latency charge by at most
+    // one penalty; the loop never *starts* a round beyond L.
+    assert!(
+        report.crowd.rounds <= latency + 1,
+        "{} rounds with straggler penalty 1 over latency {latency}",
+        report.crowd.rounds
+    );
+}
+
+/// No-retry policy: failed tasks are abandoned immediately and counted.
+#[test]
+fn retries_disabled_counts_failures_as_expired() {
+    let (budget, latency) = (60, 10);
+    let report = run_with_faults(
+        TaskStrategy::Fbs,
+        FaultConfig {
+            expiry_prob: 0.5,
+            ..FaultConfig::default()
+        },
+        RetryPolicy::none(),
+        budget,
+        latency,
+    );
+    assert_contracts(&report, budget, latency, "no-retry");
+    assert_eq!(report.tasks_retried, 0, "retries are disabled");
+    assert!(report.degraded);
+    assert!(report.tasks_expired > 0);
+}
+
+// ---------------------------------------------------------------------------
+// A test-local platform: proves BayesCrowd::run depends only on the
+// CrowdPlatform trait, not on SimulatedPlatform.
+// ---------------------------------------------------------------------------
+
+/// Answers every task truthfully from a captured dataset, except that every
+/// `fail_every`-th task expires. No rand, no bc-crowd simulator machinery.
+struct ScriptedPlatform {
+    truth: Dataset,
+    fail_every: usize,
+    posted: usize,
+    stats: CrowdStats,
+}
+
+impl ScriptedPlatform {
+    fn new(truth: Dataset, fail_every: usize) -> ScriptedPlatform {
+        ScriptedPlatform {
+            truth,
+            fail_every,
+            posted: 0,
+            stats: CrowdStats::default(),
+        }
+    }
+}
+
+impl CrowdPlatform for ScriptedPlatform {
+    fn post_round(&mut self, tasks: &[Task]) -> Vec<TaskResult> {
+        if tasks.is_empty() {
+            return Vec::new();
+        }
+        self.stats.rounds += 1;
+        self.stats.tasks_posted += tasks.len();
+        tasks
+            .iter()
+            .map(|t| {
+                self.posted += 1;
+                let outcome = if self.fail_every > 0 && self.posted.is_multiple_of(self.fail_every)
+                {
+                    TaskOutcome::Expired
+                } else {
+                    self.stats.worker_answers += 1;
+                    self.stats.money_spent += 1;
+                    let l = self.truth.get(t.var.object, t.var.attr).unwrap();
+                    let r = match t.rhs {
+                        Operand::Const(c) => c,
+                        Operand::Var(v) => self.truth.get(v.object, v.attr).unwrap(),
+                    };
+                    TaskOutcome::Answered(Relation::between(l, r))
+                };
+                TaskResult { task: *t, outcome }
+            })
+            .collect()
+    }
+
+    fn stats(&self) -> CrowdStats {
+        self.stats
+    }
+
+    fn ground_truth(&self) -> Option<&Dataset> {
+        Some(&self.truth)
+    }
+}
+
+/// The engine runs against a platform it has never heard of, retries its
+/// scripted failures, and still solves the query.
+#[test]
+fn engine_runs_against_a_foreign_platform_implementation() {
+    let (complete, incomplete) = faulty_workload();
+    let cfg = BayesCrowdConfig {
+        budget: 80,
+        latency: 16,
+        alpha: 1.0,
+        strategy: TaskStrategy::Hhs { m: 3 },
+        retry: RetryPolicy::default(),
+        ..Default::default()
+    };
+    let mut platform = ScriptedPlatform::new(complete, 5);
+    let report = BayesCrowd::new(cfg).run(&incomplete, &mut platform);
+    assert!(report.crowd.tasks_posted <= 80);
+    assert!(
+        report.tasks_retried > 0,
+        "every 5th task expires, so retries must fire: {}",
+        report.summary()
+    );
+    assert!(
+        report.accuracy.unwrap().f1 >= 0.85,
+        "truthful answers + retries should nearly solve it: {}",
+        report.summary()
+    );
 }

@@ -86,7 +86,9 @@ fn example_4_entropy_ranking() {
     let dists = example3_dists();
     let solver = AdpllSolver::new();
     let h = |o: u32| {
-        let p = solver.probability(ct.condition(ObjectId(o)), &dists).unwrap();
+        let p = solver
+            .probability(ct.condition(ObjectId(o)), &dists)
+            .unwrap();
         bc_solver::utility::object_entropy(p)
     };
     let (h1, h4, h5) = (h(0), h(3), h(4));

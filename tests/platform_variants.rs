@@ -70,12 +70,11 @@ fn recruitment_improves_noisy_pools_on_average() {
 fn money_accounting_distinguishes_task_kinds() {
     let (complete, incomplete) = setup(200);
     let oracle = GroundTruthOracle::new(complete);
-    let mut platform = SimulatedPlatform::new(oracle, 1.0, 7).with_cost_model(
-        CostModel::ByDifficulty {
+    let mut platform =
+        SimulatedPlatform::new(oracle, 1.0, 7).with_cost_model(CostModel::ByDifficulty {
             var_const: 1,
             var_var: 3,
-        },
-    );
+        });
     let report = BayesCrowd::new(config()).run(&incomplete, &mut platform);
     let stats = report.crowd;
     // Each task is answered by 3 workers; per-answer price is 1 or 3, so
@@ -89,10 +88,7 @@ fn money_accounting_distinguishes_task_kinds() {
     let oracle = GroundTruthOracle::new(complete);
     let mut unit = SimulatedPlatform::new(oracle, 1.0, 7);
     let report = BayesCrowd::new(config()).run(&incomplete, &mut unit);
-    assert_eq!(
-        report.crowd.money_spent,
-        report.crowd.worker_answers as u64
-    );
+    assert_eq!(report.crowd.money_spent, report.crowd.worker_answers as u64);
 }
 
 /// Paper-scale smoke test (NBA 10k × 11): modeling phase + machine-only

@@ -2,11 +2,11 @@
 //! fraction of completions (possible worlds) in which `o` is a skyline
 //! object — on tie-free domains, where the paper's CNF encoding is exact.
 
+use bc_bayes::Pmf;
 use bc_ctable::{build_ctable, CTableConfig, DominatorStrategy};
 use bc_data::domain::uniform_domains;
 use bc_data::skyline::skyline_bnl;
 use bc_data::{Dataset, ObjectId, VarId};
-use bc_bayes::Pmf;
 use bc_solver::{AdpllSolver, Solver, VarDists};
 use proptest::prelude::*;
 use rand::seq::SliceRandom;

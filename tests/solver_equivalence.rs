@@ -9,9 +9,7 @@
 use bc_bayes::Pmf;
 use bc_ctable::{CmpOp, Condition, Expr, Operand};
 use bc_data::VarId;
-use bc_solver::{
-    AdpllSolver, BranchHeuristic, MonteCarloSolver, NaiveSolver, Solver, VarDists,
-};
+use bc_solver::{AdpllSolver, BranchHeuristic, MonteCarloSolver, NaiveSolver, Solver, VarDists};
 use proptest::prelude::*;
 
 const N_VARS: u32 = 5;
