@@ -35,7 +35,7 @@ pub mod synthetic;
 
 pub use cpt::Cpt;
 pub use graph::Dag;
-pub use model::{MissingValueModel, ModelConfig, StructureSearch};
+pub use model::{MissingValueModel, ModelConfig, ModelStats, StructureSearch};
 pub use pmf::Pmf;
 
 use bc_data::{DataError, Dataset};

@@ -5,11 +5,25 @@
 use crate::anneal::{anneal, AnnealConfig};
 use crate::em::{em_fit, EmConfig};
 use crate::graph::Dag;
-use crate::learn::{fit_parameters, hill_climb, LearnConfig};
+use crate::learn::{family_bic_score, fit_parameters, hill_climb, LearnConfig};
 use crate::pmf::Pmf;
 use crate::BayesianNetwork;
 use bc_data::{Dataset, VarId};
 use std::collections::BTreeMap;
+
+/// What one [`MissingValueModel::learn_with_stats`] call did.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ModelStats {
+    /// Total BIC score of the learned structure on the complete rows
+    /// (`0.0` for the uniform-prior ablation or with no complete rows).
+    pub bic: f64,
+    /// Edges in the learned DAG.
+    pub edges: usize,
+    /// EM sweeps performed (`0` when EM was disabled).
+    pub em_iters: usize,
+    /// Missing cells that received a conditional distribution.
+    pub missing_vars: usize,
+}
 
 /// Which structure-search mode runs over the complete rows (Banjo offers
 /// the same pair).
@@ -57,11 +71,21 @@ impl MissingValueModel {
     /// of `data` itself; with too few complete rows the model degrades
     /// gracefully to per-attribute marginals / uniform priors.
     pub fn learn(data: &Dataset, config: &ModelConfig) -> MissingValueModel {
+        Self::learn_with_stats(data, config).0
+    }
+
+    /// [`MissingValueModel::learn`] plus training counters (structure
+    /// score, DAG size, EM effort) for telemetry.
+    pub fn learn_with_stats(
+        data: &Dataset,
+        config: &ModelConfig,
+    ) -> (MissingValueModel, ModelStats) {
         let cards: Vec<usize> = data
             .domains()
             .iter()
             .map(|d| d.cardinality() as usize)
             .collect();
+        let mut stats = ModelStats::default();
         let network = if config.uniform_prior {
             let dag = Dag::empty(cards.len());
             let cpts = fit_parameters(&dag, &[], &cards, config.learn.laplace);
@@ -73,9 +97,15 @@ impl MissingValueModel {
                 StructureSearch::HillClimb => hill_climb(&complete, &cards, &config.learn),
                 StructureSearch::Anneal(a) => anneal(&complete, &cards, a),
             };
+            if !complete.is_empty() {
+                stats.bic = (0..dag.n_nodes())
+                    .map(|node| family_bic_score(&complete, &cards, node, dag.parents(node)))
+                    .sum();
+            }
             // ...then parameters: EM over everything, or smoothed MLE on
             // the complete rows.
             if let Some(em_config) = &config.em {
+                stats.em_iters = em_config.iterations;
                 let all_rows: Vec<Vec<Option<u16>>> =
                     data.objects().map(|o| data.row(o).to_vec()).collect();
                 em_fit(&dag, &all_rows, &cards, em_config)
@@ -84,8 +114,10 @@ impl MissingValueModel {
                 BayesianNetwork::new(dag, cpts, cards.clone())
             }
         };
+        stats.edges = network.dag().n_edges();
         let pmfs = Self::conditionals(&network, data);
-        MissingValueModel { network, pmfs }
+        stats.missing_vars = pmfs.len();
+        (MissingValueModel { network, pmfs }, stats)
     }
 
     /// Builds a model from an already-trained network (e.g. the true network
@@ -153,6 +185,35 @@ mod tests {
             assert_eq!(pmf.card(), data.domain(var.attr).cardinality() as usize);
         }
         assert_eq!(model.pmf(VarId::new(0, 0)), None);
+    }
+
+    #[test]
+    fn learn_stats_describe_the_training_run() {
+        let data = paper_dataset();
+        let (model, stats) = MissingValueModel::learn_with_stats(&data, &ModelConfig::default());
+        assert_eq!(stats.missing_vars, model.pmfs().len());
+        assert_eq!(stats.edges, model.network().dag().n_edges());
+        assert_eq!(stats.em_iters, 0);
+        assert!(stats.bic <= 0.0, "BIC is a log-score, got {}", stats.bic);
+
+        let (_, em_stats) = MissingValueModel::learn_with_stats(
+            &data,
+            &ModelConfig {
+                em: Some(crate::em::EmConfig::default()),
+                ..Default::default()
+            },
+        );
+        assert_eq!(em_stats.em_iters, crate::em::EmConfig::default().iterations);
+
+        let (_, uni) = MissingValueModel::learn_with_stats(
+            &data,
+            &ModelConfig {
+                uniform_prior: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(uni.bic, 0.0);
+        assert_eq!(uni.edges, 0);
     }
 
     #[test]

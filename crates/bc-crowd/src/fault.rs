@@ -82,6 +82,20 @@ impl Default for FaultConfig {
     }
 }
 
+/// Counts of the faults a [`FaultyPlatform`] actually injected — what the
+/// RNG drew, as opposed to the configured rates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Tasks withheld from the inner platform (expiry or attrition).
+    pub expired_injected: usize,
+    /// Honest answers displaced by a spammer's vote.
+    pub spam_injected: usize,
+    /// Answers cancelled out by duplicate conflicting submissions.
+    pub duplicates_injected: usize,
+    /// Rounds that straggled past their deadline.
+    pub straggler_rounds: usize,
+}
+
 impl FaultConfig {
     /// Panics unless every rate is a probability.
     fn validate(&self) {
@@ -118,6 +132,7 @@ pub struct FaultyPlatform<P> {
     /// Stats for what the inner platform never saw: expired postings and
     /// straggler rounds.
     overlay: CrowdStats,
+    faults: FaultStats,
 }
 
 impl<P: CrowdPlatform> FaultyPlatform<P> {
@@ -135,7 +150,13 @@ impl<P: CrowdPlatform> FaultyPlatform<P> {
             rng: rand::rngs::StdRng::seed_from_u64(seed),
             workforce: 1.0,
             overlay: CrowdStats::default(),
+            faults: FaultStats::default(),
         }
+    }
+
+    /// Counts of the faults injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults
     }
 
     /// The wrapped platform.
@@ -163,6 +184,7 @@ impl<P: CrowdPlatform> CrowdPlatform for FaultyPlatform<P> {
         // Straggling workers: the batch consumes extra latency up front.
         if self.cfg.straggler_prob > 0.0 && self.rng.gen_bool(self.cfg.straggler_prob) {
             self.overlay.rounds += self.cfg.straggler_penalty;
+            self.faults.straggler_rounds += 1;
         }
 
         // Decide per task whether anyone answers at all. Expired tasks are
@@ -178,6 +200,7 @@ impl<P: CrowdPlatform> CrowdPlatform for FaultyPlatform<P> {
             }
         }
         self.overlay.tasks_posted += tasks.len() - survived.len();
+        self.faults.expired_injected += tasks.len() - survived.len();
 
         let mut inner_results = if survived.is_empty() {
             // The whole batch expired: the round still happened and still
@@ -205,10 +228,12 @@ impl<P: CrowdPlatform> CrowdPlatform for FaultyPlatform<P> {
             let outcome = match inner.outcome {
                 TaskOutcome::Answered(honest) => {
                     if self.cfg.duplicate_prob > 0.0 && self.rng.gen_bool(self.cfg.duplicate_prob) {
+                        self.faults.duplicates_injected += 1;
                         TaskOutcome::Inconsistent
                     } else if self.cfg.spammer_rate > 0.0
                         && self.rng.gen_bool(self.cfg.spammer_rate)
                     {
+                        self.faults.spam_injected += 1;
                         TaskOutcome::Answered(self.cfg.spammer_kind.corrupt(honest))
                     } else {
                         TaskOutcome::Answered(honest)
@@ -393,6 +418,32 @@ mod tests {
         // 1 real round + 2 straggler rounds.
         assert_eq!(faulty.stats().rounds, 3);
         assert_eq!(faulty.stats().tasks_posted, 1);
+    }
+
+    #[test]
+    fn fault_stats_count_injected_faults() {
+        let cfg = FaultConfig {
+            duplicate_prob: 1.0,
+            straggler_prob: 1.0,
+            straggler_penalty: 2,
+            ..FaultConfig::default()
+        };
+        let mut faulty = FaultyPlatform::new(perfect_inner(5), cfg, 5);
+        assert_eq!(faulty.fault_stats(), FaultStats::default());
+        post(&mut faulty, &[task(4, 3, 4), task(4, 2, 3)]);
+        let f = faulty.fault_stats();
+        assert_eq!(f.duplicates_injected, 2);
+        assert_eq!(f.straggler_rounds, 1);
+        assert_eq!(f.expired_injected, 0);
+        assert_eq!(f.spam_injected, 0);
+
+        let all_expire = FaultConfig {
+            expiry_prob: 1.0,
+            ..FaultConfig::default()
+        };
+        let mut faulty = FaultyPlatform::new(perfect_inner(5), all_expire, 5);
+        post(&mut faulty, &[task(4, 3, 4), task(4, 2, 3)]);
+        assert_eq!(faulty.fault_stats().expired_injected, 2);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod vote;
 pub mod worker;
 
 pub use cost::CostModel;
-pub use fault::{FaultConfig, FaultyPlatform, SpammerKind};
+pub use fault::{FaultConfig, FaultStats, FaultyPlatform, SpammerKind};
 pub use oracle::GroundTruthOracle;
 pub use platform::{CrowdPlatform, CrowdStats, SimulatedPlatform};
 pub use pool::WorkerPool;

@@ -14,9 +14,10 @@ pub struct RetryPolicy {
     /// Total posting attempts per task, including the first. `1` disables
     /// retries; failed tasks are abandoned immediately.
     pub max_attempts: usize,
-    /// Extra workers recruited (via [`CrowdPlatform::escalate`]
-    /// (crate::CrowdPlatform::escalate)) each time a round contains at
-    /// least one retry — escalating staffing when the first attempt failed.
+    /// Extra workers recruited (via
+    /// [`CrowdPlatform::escalate`](crate::CrowdPlatform::escalate)) each
+    /// time a round contains at least one retry — escalating staffing when
+    /// the first attempt failed.
     pub escalate_workers: usize,
     /// Base of the exponential backoff, in rounds. Attempt `n`'s re-post
     /// waits `backoff_base << (n - 1)` rounds; `0` re-queues for the next

@@ -112,6 +112,25 @@ fn escape_clause(data: &Dataset, o: ObjectId, p: ObjectId) -> Option<Vec<Expr>> 
     Some(exprs)
 }
 
+/// What [`build_ctable_with_stats`] produced, for telemetry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CTableBuildStats {
+    /// Objects in the table.
+    pub objects: usize,
+    /// Objects that came out certainly-true (empty dominator set).
+    pub certain: usize,
+    /// Objects discarded by α-pruning (`|D(o)| > α · |O|`).
+    pub pruned: usize,
+    /// Objects falsified by certain dominance or an impossible escape.
+    pub falsified: usize,
+    /// Objects left with an open condition.
+    pub open: usize,
+    /// Distinct variables appearing in open conditions.
+    pub vars: usize,
+    /// Expressions across open conditions.
+    pub exprs: usize,
+}
+
 /// Algorithm 2: builds the c-table of the skyline query over `data`.
 ///
 /// ```
@@ -130,6 +149,15 @@ fn escape_clause(data: &Dataset, o: ObjectId, p: ObjectId) -> Option<Vec<Expr>> 
 /// assert_eq!(ctable.condition(ObjectId(0)).n_exprs(), 3);
 /// ```
 pub fn build_ctable(data: &Dataset, config: &CTableConfig) -> CTable {
+    build_ctable_with_stats(data, config).0
+}
+
+/// [`build_ctable`] plus construction counters (how many objects each
+/// branch of Algorithm 2 settled, and the size of what remains open).
+pub fn build_ctable_with_stats(
+    data: &Dataset,
+    config: &CTableConfig,
+) -> (CTable, CTableBuildStats) {
     let n = data.n_objects();
     let threshold = config.alpha * n as f64;
     let index = match config.strategy {
@@ -137,6 +165,10 @@ pub fn build_ctable(data: &Dataset, config: &CTableConfig) -> CTable {
         DominatorStrategy::Baseline => None,
     };
 
+    let mut stats = CTableBuildStats {
+        objects: n,
+        ..Default::default()
+    };
     let mut conditions = Vec::with_capacity(n);
     for o in data.objects() {
         let dom = match &index {
@@ -147,14 +179,17 @@ pub fn build_ctable(data: &Dataset, config: &CTableConfig) -> CTable {
 
         let condition = if dom_size == 0 {
             // o is certainly a skyline object.
+            stats.certain += 1;
             Condition::True
         } else if dom_size as f64 > threshold {
             // α-pruning: deemed not to be a skyline object.
+            stats.pruned += 1;
             Condition::False
         } else if dom
             .iter()
             .any(|p| certainly_dominates(data, ObjectId(p as u32), o))
         {
+            stats.falsified += 1;
             Condition::False
         } else {
             let mut clauses = Vec::with_capacity(dom_size);
@@ -170,14 +205,30 @@ pub fn build_ctable(data: &Dataset, config: &CTableConfig) -> CTable {
                 }
             }
             if falsified {
+                stats.falsified += 1;
                 Condition::False
             } else {
-                Condition::from_clauses(clauses)
+                let cond = Condition::from_clauses(clauses);
+                match &cond {
+                    Condition::True => stats.certain += 1,
+                    Condition::False => stats.falsified += 1,
+                    Condition::Cnf(_) => stats.open += 1,
+                }
+                cond
             }
         };
         conditions.push(condition);
     }
-    CTable::new(conditions)
+
+    let mut vars = std::collections::BTreeSet::new();
+    for cond in &conditions {
+        if !cond.is_decided() {
+            stats.exprs += cond.n_exprs();
+            vars.extend(cond.vars());
+        }
+    }
+    stats.vars = vars.len();
+    (CTable::new(conditions), stats)
 }
 
 #[cfg(test)]
@@ -244,6 +295,35 @@ mod tests {
             ],
         ]);
         assert_eq!(*ct.condition(ObjectId(4)), expected_o5);
+    }
+
+    #[test]
+    fn build_stats_partition_the_objects() {
+        let data = paper_dataset();
+        let (ct, stats) = build_ctable_with_stats(&data, &paper_config());
+        assert_eq!(stats.objects, 5);
+        assert_eq!(stats.certain, 2);
+        assert_eq!(stats.pruned, 0);
+        assert_eq!(stats.falsified, 0);
+        assert_eq!(stats.open, 3);
+        assert_eq!(
+            stats.certain + stats.pruned + stats.falsified + stats.open,
+            stats.objects
+        );
+        assert_eq!(stats.exprs, ct.n_open_exprs());
+        // Open conditions mention Var(o2,a2) and the o5 row's three vars.
+        assert_eq!(stats.vars, 4);
+        // With aggressive pruning the open mass moves to `pruned`.
+        let (_, pruned) = build_ctable_with_stats(
+            &data,
+            &CTableConfig {
+                alpha: 1e-9,
+                strategy: DominatorStrategy::FastIndex,
+            },
+        );
+        assert_eq!(pruned.pruned, 3);
+        assert_eq!(pruned.open, 0);
+        assert_eq!(pruned.exprs, 0);
     }
 
     #[test]

@@ -4,6 +4,18 @@ use crate::condition::Condition;
 use crate::constraint::ConstraintStore;
 use bc_data::ObjectId;
 
+/// What one [`CTable::propagate`] pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PropagateStats {
+    /// Open conditions examined.
+    pub examined: usize,
+    /// Conditions that became decided (true or false) during the pass.
+    pub decided: usize,
+    /// Deepest simplify/substitute fixpoint iteration over all conditions —
+    /// how far a single crowd answer cascaded.
+    pub max_depth: usize,
+}
+
 /// A conditional table: `entries[i]` is the condition `φ(o_i)` of object
 /// `o_i` being a skyline answer (Definition 3).
 #[derive(Clone, Debug, PartialEq)]
@@ -70,13 +82,16 @@ impl CTable {
     /// Re-simplifies every open condition against the constraint store:
     /// decides expressions settled by crowd knowledge, then substitutes any
     /// variable pinned to a single value, iterating to a fixpoint per
-    /// condition.
-    pub fn propagate(&mut self, store: &ConstraintStore) {
+    /// condition. Returns counters describing the pass.
+    pub fn propagate(&mut self, store: &ConstraintStore) -> PropagateStats {
+        let mut stats = PropagateStats::default();
         for cond in &mut self.entries {
             if cond.is_decided() {
                 continue;
             }
+            stats.examined += 1;
             let mut current = cond.clone();
+            let mut depth = 0;
             loop {
                 let simplified = current.simplify(|e| store.decide(e));
                 // Substitute pinned variables to expose further collapses
@@ -92,9 +107,15 @@ impl CTable {
                 if done {
                     break;
                 }
+                depth += 1;
+            }
+            stats.max_depth = stats.max_depth.max(depth);
+            if current.is_decided() {
+                stats.decided += 1;
             }
             *cond = current;
         }
+        stats
     }
 }
 
@@ -178,6 +199,25 @@ mod tests {
         );
         assert!(ct.open_objects().is_empty());
         assert_eq!(ct.n_open_exprs(), 0);
+    }
+
+    #[test]
+    fn propagate_reports_examined_decided_and_depth() {
+        let (data, mut ct) = sample_ctable();
+        let mut store = crate::constraint::ConstraintStore::new(&data);
+        store.record(v(4, 3), Operand::Const(4), Relation::Lt);
+        store.record(v(4, 2), Operand::Const(3), Relation::Eq);
+        let stats = ct.propagate(&store);
+        // Three open conditions examined; φ(o1) turns true.
+        assert_eq!(stats.examined, 3);
+        assert_eq!(stats.decided, 1);
+        assert!(stats.max_depth >= 1, "got {stats:?}");
+        // A no-op pass examines the remaining open conditions, decides
+        // nothing, and cascades nowhere.
+        let idle = ct.propagate(&store);
+        assert_eq!(idle.examined, 2);
+        assert_eq!(idle.decided, 0);
+        assert_eq!(idle.max_depth, 0);
     }
 
     #[test]

@@ -25,9 +25,11 @@ pub mod dominators;
 pub mod expr;
 pub mod stats;
 
-pub use builder::{build_ctable, CTableConfig, DominatorStrategy};
+pub use builder::{
+    build_ctable, build_ctable_with_stats, CTableBuildStats, CTableConfig, DominatorStrategy,
+};
 pub use condition::{Clause, Condition};
 pub use constraint::{ConstraintStore, Relation};
-pub use ctable::CTable;
+pub use ctable::{CTable, PropagateStats};
 pub use expr::{CmpOp, Expr, ExprOrBool, Operand};
 pub use stats::CTableStats;

@@ -1,0 +1,340 @@
+//! In-memory aggregation of a run's event stream.
+//!
+//! [`MetricsRecorder`] is the sink tests and the bench harness assert on:
+//! it keeps the raw event list, per-phase wall-clock totals, scalar
+//! counters, and log₂-bucketed [`Histogram`]s of per-round task counts and
+//! propagation depth.
+
+use crate::event::{Event, RunPhase};
+use crate::sink::Observer;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A power-of-two-bucketed histogram of `u64` samples.
+///
+/// Bucket `i` holds samples in `[2^(i-1), 2^i)` (bucket 0 holds zeros).
+/// Coarse on purpose: round sizes and propagation depths span orders of
+/// magnitude, and exact quantiles are not worth per-event allocation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        };
+        if self.buckets.len() <= bucket {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += 1;
+        if self.count == 0 || value < self.min {
+            self.min = value;
+        }
+        if value > self.max {
+            self.max = value;
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Occupancy per log₂ bucket, lowest first.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+}
+
+impl std::fmt::Display for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} min={} mean={:.1} max={}",
+            self.count,
+            self.min,
+            self.mean(),
+            self.max
+        )
+    }
+}
+
+/// Scalar counters aggregated over a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Crowdsourcing rounds observed (`RoundFinished` events).
+    pub rounds: u64,
+    /// Tasks posted, summed over rounds.
+    pub posted: u64,
+    /// Tasks answered, summed over rounds.
+    pub answered: u64,
+    /// Tasks abandoned for good, summed over rounds.
+    pub expired: u64,
+    /// Failed tasks re-queued for another attempt, summed over rounds.
+    pub requeued: u64,
+    /// Re-posts of previously failed tasks, summed over rounds.
+    pub retried: u64,
+    /// Conditions solved across all probability batches.
+    pub probability_evals: u64,
+    /// Solver invocations (including fallback re-solves).
+    pub solver_calls: u64,
+    /// Solver value-branching decisions.
+    pub solver_branches: u64,
+    /// Solver component-cache hits.
+    pub solver_cache_hits: u64,
+    /// Crowd answers folded into the constraint store.
+    pub answers_propagated: u64,
+    /// Conditions decided by propagation.
+    pub conditions_decided: u64,
+    /// Tasks abandoned at finalization (from `Degraded`).
+    pub tasks_abandoned: u64,
+}
+
+/// An [`Observer`] that aggregates the event stream in memory.
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    events: Vec<Event>,
+    phase_nanos: BTreeMap<RunPhase, u128>,
+    counters: Counters,
+    tasks_per_round: Histogram,
+    propagation_depth: Histogram,
+}
+
+impl MetricsRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every event seen, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The event stream with timing fields zeroed — two same-seed runs
+    /// produce identical redacted streams.
+    pub fn redacted_events(&self) -> Vec<Event> {
+        self.events.iter().map(Event::redact_timing).collect()
+    }
+
+    /// Aggregated scalar counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Total wall-clock nanoseconds attributed to `phase` (summed across
+    /// rounds for the per-round phases).
+    pub fn phase_nanos(&self, phase: RunPhase) -> u128 {
+        self.phase_nanos.get(&phase).copied().unwrap_or(0)
+    }
+
+    /// Histogram of tasks posted per round.
+    pub fn tasks_per_round(&self) -> &Histogram {
+        &self.tasks_per_round
+    }
+
+    /// Histogram of propagation fixpoint depth per round.
+    pub fn propagation_depth(&self) -> &Histogram {
+        &self.propagation_depth
+    }
+
+    /// A compact human-readable digest (phase timings, counters,
+    /// histograms), suitable for `--metrics` output.
+    pub fn summary(&self) -> String {
+        let c = &self.counters;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "rounds {}  posted {}  answered {}  expired {}  retried {}",
+            c.rounds, c.posted, c.answered, c.expired, c.retried
+        );
+        let _ = writeln!(
+            s,
+            "probability evals {}  solver calls {} (branches {}, cache hits {})",
+            c.probability_evals, c.solver_calls, c.solver_branches, c.solver_cache_hits
+        );
+        let _ = writeln!(
+            s,
+            "propagated {} answers, {} conditions decided",
+            c.answers_propagated, c.conditions_decided
+        );
+        let _ = writeln!(s, "tasks/round: {}", self.tasks_per_round);
+        let _ = writeln!(s, "propagation depth: {}", self.propagation_depth);
+        let _ = write!(s, "phase timings:");
+        for phase in RunPhase::ALL {
+            let nanos = self.phase_nanos(phase);
+            let _ = write!(s, " {}={:.3}ms", phase, nanos as f64 / 1e6);
+        }
+        s
+    }
+}
+
+impl Observer for MetricsRecorder {
+    fn event(&mut self, event: &Event) {
+        match event {
+            Event::SpanFinished { phase, nanos } => {
+                *self.phase_nanos.entry(*phase).or_insert(0) += nanos;
+            }
+            Event::ProbabilityBatch {
+                objects,
+                solver_calls,
+                branches,
+                cache_hits,
+                ..
+            } => {
+                self.counters.probability_evals += *objects as u64;
+                self.counters.solver_calls += solver_calls;
+                self.counters.solver_branches += branches;
+                self.counters.solver_cache_hits += cache_hits;
+            }
+            Event::Propagated {
+                answers,
+                decided,
+                depth,
+                ..
+            } => {
+                self.counters.answers_propagated += *answers as u64;
+                self.counters.conditions_decided += *decided as u64;
+                self.propagation_depth.record(*depth as u64);
+            }
+            Event::RoundFinished {
+                posted,
+                answered,
+                expired,
+                requeued,
+                retried,
+                ..
+            } => {
+                self.counters.rounds += 1;
+                self.counters.posted += *posted as u64;
+                self.counters.answered += *answered as u64;
+                self.counters.expired += *expired as u64;
+                self.counters.requeued += *requeued as u64;
+                self.counters.retried += *retried as u64;
+                self.tasks_per_round.record(*posted as u64);
+            }
+            Event::Degraded { tasks_abandoned } => {
+                self.counters.tasks_abandoned += *tasks_abandoned as u64;
+            }
+            _ => {}
+        }
+        self.events.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 18);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 8);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        // buckets: [0], [1], [2..4), [4..8), [8..16)
+        assert_eq!(h.buckets(), &[1, 1, 2, 1, 1]);
+    }
+
+    #[test]
+    fn recorder_aggregates_counters_and_spans() {
+        let mut rec = MetricsRecorder::new();
+        rec.event(&Event::RoundStarted { round: 1 });
+        rec.event(&Event::ProbabilityBatch {
+            phase: RunPhase::Select,
+            objects: 4,
+            solver_calls: 4,
+            branches: 10,
+            cache_hits: 3,
+            nanos: 100,
+        });
+        rec.event(&Event::Propagated {
+            answers: 2,
+            decided: 1,
+            depth: 3,
+            nanos: 50,
+        });
+        rec.event(&Event::RoundFinished {
+            round: 1,
+            posted: 2,
+            answered: 2,
+            expired: 0,
+            requeued: 0,
+            retried: 0,
+            nanos: 200,
+        });
+        rec.event(&Event::SpanFinished {
+            phase: RunPhase::Select,
+            nanos: 120,
+        });
+        rec.event(&Event::SpanFinished {
+            phase: RunPhase::Select,
+            nanos: 30,
+        });
+        let c = rec.counters();
+        assert_eq!(c.rounds, 1);
+        assert_eq!(c.posted, 2);
+        assert_eq!(c.probability_evals, 4);
+        assert_eq!(c.solver_branches, 10);
+        assert_eq!(c.answers_propagated, 2);
+        assert_eq!(rec.phase_nanos(RunPhase::Select), 150);
+        assert_eq!(rec.phase_nanos(RunPhase::Post), 0);
+        assert_eq!(rec.tasks_per_round().count(), 1);
+        assert_eq!(rec.propagation_depth().max(), 3);
+        assert_eq!(rec.events().len(), 6);
+        assert!(rec.summary().contains("posted 2"));
+    }
+
+    #[test]
+    fn redacted_events_zero_timing() {
+        let mut rec = MetricsRecorder::new();
+        rec.event(&Event::SpanFinished {
+            phase: RunPhase::Model,
+            nanos: 999,
+        });
+        match rec.redacted_events()[0] {
+            Event::SpanFinished { nanos, .. } => assert_eq!(nanos, 0),
+            _ => unreachable!(),
+        }
+    }
+}

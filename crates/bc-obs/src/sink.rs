@@ -1,0 +1,204 @@
+//! Event sinks: where a run's [`Event`] stream goes.
+//!
+//! The framework emits events through the [`Observer`] trait; callers pick
+//! a sink. [`NoopObserver`] (the default) compiles down to nothing,
+//! [`JsonLinesSink`] streams a machine-readable trace, and
+//! [`crate::MetricsRecorder`] aggregates in memory. [`Tee`] fans one stream
+//! out to two sinks.
+
+use crate::event::Event;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A consumer of run events.
+///
+/// Contract: the framework calls [`Observer::event`] synchronously from the
+/// run loop, in emission order, and never re-entrantly. Implementations
+/// must not panic on malformed-looking data (the framework owns event
+/// construction) and should keep per-event work O(1)-ish — a slow sink
+/// slows the run it is watching. I/O errors should be swallowed or
+/// deferred, never propagated by panicking.
+pub trait Observer {
+    /// Handles one event.
+    fn event(&mut self, event: &Event);
+}
+
+/// The do-nothing sink; [`crate::Observer::event`] is inlined away so
+/// uninstrumented runs pay nothing beyond constructing the events.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    #[inline(always)]
+    fn event(&mut self, _event: &Event) {}
+}
+
+/// Streams events as JSON lines (one object per line, `seq`-numbered) to
+/// any writer — typically a buffered trace file via
+/// [`JsonLinesSink::create`].
+///
+/// Write errors are stored rather than panicking; check
+/// [`JsonLinesSink::io_error`] after the run if trace completeness matters.
+#[derive(Debug)]
+pub struct JsonLinesSink<W: Write> {
+    // Option only so `into_inner` can move the writer out past `Drop`.
+    writer: Option<W>,
+    seq: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonLinesSink<BufWriter<File>> {
+    /// Opens (truncating) a trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonLinesSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonLinesSink<W> {
+    /// Wraps an arbitrary writer.
+    pub fn new(writer: W) -> Self {
+        JsonLinesSink {
+            writer: Some(writer),
+            seq: 0,
+            error: None,
+        }
+    }
+
+    /// Events written so far.
+    pub fn events_written(&self) -> u64 {
+        self.seq
+    }
+
+    /// The first I/O error encountered, if any.
+    pub fn io_error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> W {
+        let mut writer = self.writer.take().expect("writer present until drop");
+        let _ = writer.flush();
+        writer
+    }
+}
+
+impl<W: Write> Observer for JsonLinesSink<W> {
+    fn event(&mut self, event: &Event) {
+        if self.error.is_some() {
+            return;
+        }
+        let Some(writer) = self.writer.as_mut() else {
+            return;
+        };
+        let line = event.to_json_line(self.seq);
+        self.seq += 1;
+        if let Err(e) = writeln!(writer, "{line}") {
+            self.error = Some(e);
+            return;
+        }
+        // Make partial traces of crashed/killed runs useful: flush at
+        // round and run boundaries, not per event.
+        if matches!(
+            event,
+            Event::RoundFinished { .. } | Event::RunFinished { .. } | Event::Degraded { .. }
+        ) {
+            if let Err(e) = writer.flush() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+impl<W: Write> Drop for JsonLinesSink<W> {
+    fn drop(&mut self) {
+        if let Some(writer) = self.writer.as_mut() {
+            let _ = writer.flush();
+        }
+    }
+}
+
+/// Forwards every event to two sinks, e.g. a trace file plus a
+/// [`crate::MetricsRecorder`].
+pub struct Tee<'a> {
+    first: &'a mut dyn Observer,
+    second: &'a mut dyn Observer,
+}
+
+impl<'a> Tee<'a> {
+    /// Combines two sinks; `first` sees each event before `second`.
+    pub fn new(first: &'a mut dyn Observer, second: &'a mut dyn Observer) -> Self {
+        Tee { first, second }
+    }
+}
+
+impl Observer for Tee<'_> {
+    fn event(&mut self, event: &Event) {
+        self.first.event(event);
+        self.second.event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_sink_numbers_and_parses_back() {
+        let mut sink = JsonLinesSink::new(Vec::new());
+        sink.event(&Event::RoundStarted { round: 1 });
+        sink.event(&Event::RoundFinished {
+            round: 1,
+            posted: 2,
+            answered: 2,
+            expired: 0,
+            requeued: 0,
+            retried: 0,
+            nanos: 5,
+        });
+        assert_eq!(sink.events_written(), 2);
+        assert!(sink.io_error().is_none());
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let parsed: Vec<_> = text
+            .lines()
+            .map(|l| Event::from_json_line(l).expect("parseable"))
+            .collect();
+        assert_eq!(parsed[0].0, 0);
+        assert_eq!(parsed[1].0, 1);
+        assert_eq!(parsed[0].1, Event::RoundStarted { round: 1 });
+    }
+
+    #[test]
+    fn write_errors_are_captured_not_panicked() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonLinesSink::new(Failing);
+        sink.event(&Event::RoundStarted { round: 1 });
+        sink.event(&Event::RoundStarted { round: 2 });
+        assert!(sink.io_error().is_some());
+    }
+
+    #[test]
+    fn tee_forwards_to_both() {
+        struct Counter(usize);
+        impl Observer for Counter {
+            fn event(&mut self, _event: &Event) {
+                self.0 += 1;
+            }
+        }
+        let (mut a, mut b) = (Counter(0), Counter(0));
+        {
+            let mut tee = Tee::new(&mut a, &mut b);
+            tee.event(&Event::RoundStarted { round: 1 });
+            tee.event(&Event::RoundStarted { round: 2 });
+        }
+        assert_eq!((a.0, b.0), (2, 2));
+    }
+}

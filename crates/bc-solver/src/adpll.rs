@@ -41,6 +41,29 @@ pub struct SolveStats {
     pub cache_hits: u64,
 }
 
+impl SolveStats {
+    /// Counter-wise difference `self - earlier`, for before/after
+    /// snapshots around a single call (saturating, in case of a reset in
+    /// between).
+    pub fn since(&self, earlier: &SolveStats) -> SolveStats {
+        SolveStats {
+            branches: self.branches.saturating_sub(earlier.branches),
+            direct_components: self
+                .direct_components
+                .saturating_sub(earlier.direct_components),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+        }
+    }
+}
+
+impl std::ops::AddAssign for SolveStats {
+    fn add_assign(&mut self, rhs: SolveStats) {
+        self.branches += rhs.branches;
+        self.direct_components += rhs.direct_components;
+        self.cache_hits += rhs.cache_hits;
+    }
+}
+
 /// The adaptive DPLL solver.
 ///
 /// ```
@@ -277,6 +300,16 @@ impl Solver for AdpllSolver {
         self.solve(cond, dists, &mut cache)
     }
 
+    fn probability_with_stats(
+        &self,
+        cond: &Condition,
+        dists: &VarDists,
+    ) -> Result<(f64, SolveStats), SolverError> {
+        let before = self.stats();
+        let p = self.probability(cond, dists)?;
+        Ok((p, self.stats().since(&before)))
+    }
+
     fn name(&self) -> &'static str {
         "ADPLL"
     }
@@ -433,6 +466,25 @@ mod tests {
         // With y pinned to 3, the clause (x>0 ∨ y<2) needs x>0:
         // P = P(x=1) = 0.25.
         assert!((p2 - 0.25).abs() < 1e-12, "got {p2}");
+    }
+
+    #[test]
+    fn per_call_stats_are_not_cumulative() {
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::lt(v(0, 0), 2)],
+            vec![Expr::gt(v(0, 0), 0), Expr::lt(v(1, 0), 2)],
+        ]);
+        let d: VarDists = [(v(0, 0), Pmf::uniform(4)), (v(1, 0), Pmf::uniform(4))]
+            .into_iter()
+            .collect();
+        let s = AdpllSolver::new();
+        let (_, first) = s.probability_with_stats(&cond, &d).unwrap();
+        let (_, second) = s.probability_with_stats(&cond, &d).unwrap();
+        assert!(first.branches > 0);
+        // The second call reports only its own work, while the cumulative
+        // counters keep growing.
+        assert_eq!(first.branches, second.branches);
+        assert_eq!(s.stats().branches, first.branches + second.branches);
     }
 
     #[test]

@@ -67,6 +67,20 @@ pub trait Solver {
     /// `Pr(φ)` under the given per-variable distributions.
     fn probability(&self, cond: &Condition, dists: &VarDists) -> Result<f64, SolverError>;
 
+    /// `Pr(φ)` plus the effort counters attributable to *this call alone*.
+    ///
+    /// The default implementation reports empty stats; solvers that keep
+    /// counters (like [`AdpllSolver`]) override it with a snapshot diff so
+    /// callers can attribute work per condition without resetting the
+    /// solver's cumulative counters.
+    fn probability_with_stats(
+        &self,
+        cond: &Condition,
+        dists: &VarDists,
+    ) -> Result<(f64, SolveStats), SolverError> {
+        Ok((self.probability(cond, dists)?, SolveStats::default()))
+    }
+
     /// Short name for reports.
     fn name(&self) -> &'static str;
 }

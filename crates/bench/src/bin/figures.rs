@@ -11,7 +11,7 @@ use bc_bench::{print_rows, rows_to_json_pretty, Row, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: figures [all | fig2 .. fig11 | table6 | ext_model | ext_ranking | ext_baselines | ext_faults]... [--scale small|paper] [--json PATH]"
+        "usage: figures [all | fig2 .. fig11 | table6 | ext_model | ext_ranking | ext_baselines | ext_faults | ext_phases]... [--scale small|paper] [--json PATH] [--trace PATH]"
     );
     std::process::exit(2);
 }
@@ -21,6 +21,7 @@ fn main() {
     let mut experiments_requested: Vec<String> = Vec::new();
     let mut scale = Scale::small();
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -37,12 +38,17 @@ fn main() {
                 i += 1;
                 json_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             other if other.starts_with("--") => usage(),
             other => experiments_requested.push(other.to_string()),
         }
         i += 1;
     }
-    if experiments_requested.is_empty() {
+    // `--trace` alone is a valid invocation (one traced run, no tables).
+    if experiments_requested.is_empty() && trace_path.is_none() {
         experiments_requested.push("all".into());
     }
 
@@ -65,6 +71,7 @@ fn main() {
             "ext_ranking" => experiments::ext_ranking(&scale),
             "ext_baselines" => experiments::ext_baselines(&scale),
             "ext_faults" => experiments::ext_faults(&scale),
+            "ext_phases" => experiments::ext_phases(&scale),
             _ => usage(),
         };
         rows.extend(produced);
@@ -76,5 +83,9 @@ fn main() {
         let json = rows_to_json_pretty(&rows);
         std::fs::write(&path, json).expect("writing the JSON dump");
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = trace_path {
+        let n = experiments::write_trace(&scale, &path).expect("writing the trace");
+        eprintln!("wrote {n} trace events to {path}");
     }
 }

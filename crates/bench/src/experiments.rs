@@ -713,6 +713,65 @@ pub fn ext_faults(scale: &Scale) -> Vec<Row> {
     rows
 }
 
+/// Extension experiment E: where a run's wall-clock goes — per-phase
+/// timings from the observability layer, vs missing rate, per workload.
+pub fn ext_phases(scale: &Scale) -> Vec<Row> {
+    use bayescrowd::prelude::{MetricsRecorder, RunPhase};
+    let mut rows = Vec::new();
+    for rate in [0.1, 0.2] {
+        for (name, w) in [
+            ("NBA", Workload::nba(scale.nba_n, rate, 60)),
+            ("Synthetic", Workload::synthetic(scale.syn_n, rate, 60)),
+        ] {
+            let config = default_config(name, scale);
+            let oracle = GroundTruthOracle::new(w.complete.clone());
+            let mut platform = SimulatedPlatform::new(oracle, 1.0, 17);
+            let mut metrics = MetricsRecorder::new();
+            let report = BayesCrowd::new(config)
+                .try_run(&w.incomplete, &mut platform, &mut metrics)
+                .expect("the paper-default run succeeds");
+            let mut cells: Vec<(&str, f64)> = RunPhase::ALL
+                .iter()
+                .map(|p| (p.name(), metrics.phase_nanos(*p) as f64 / 1e6))
+                .collect();
+            cells.push(("total_ms", ms(report.total_time)));
+            cells.push(("evals", report.probability_evals as f64));
+            rows.push(Row::new(
+                "ext_phases",
+                format!("{name}/phase_ms"),
+                "missing_rate",
+                rate,
+                &cells,
+            ));
+            let split: Vec<String> = RunPhase::ALL
+                .iter()
+                .map(|p| format!("{}={:.1}ms", p.name(), metrics.phase_nanos(*p) as f64 / 1e6))
+                .collect();
+            eprintln!("ext_phases {name} rate={rate}: {}", split.join(" "));
+        }
+    }
+    rows
+}
+
+/// Runs the paper-default NBA workload once with a JSON-lines trace sink
+/// attached, writing every event to `path`. Returns the event count.
+pub fn write_trace(scale: &Scale, path: &str) -> std::io::Result<u64> {
+    use bayescrowd::prelude::JsonLinesSink;
+    let w = Workload::nba(scale.nba_n, 0.1, 60);
+    let config = default_config("NBA", scale);
+    let oracle = GroundTruthOracle::new(w.complete.clone());
+    let mut platform = SimulatedPlatform::new(oracle, 1.0, 42);
+    let mut sink = JsonLinesSink::create(path)?;
+    if let Err(e) = BayesCrowd::new(config).try_run(&w.incomplete, &mut platform, &mut sink) {
+        eprintln!("traced run failed: {e}");
+    }
+    let n = sink.events_written();
+    if let Some(e) = sink.io_error() {
+        eprintln!("trace writer hit an I/O error: {e}");
+    }
+    Ok(n)
+}
+
 /// Runs every experiment.
 pub fn all(scale: &Scale) -> Vec<Row> {
     let mut rows = Vec::new();
@@ -731,6 +790,7 @@ pub fn all(scale: &Scale) -> Vec<Row> {
     rows.extend(ext_ranking(scale));
     rows.extend(ext_baselines(scale));
     rows.extend(ext_faults(scale));
+    rows.extend(ext_phases(scale));
     rows
 }
 

@@ -6,6 +6,40 @@ use bc_bayes::ModelConfig;
 use bc_crowd::RetryPolicy;
 use bc_ctable::{CTableConfig, DominatorStrategy};
 use bc_solver::{AdpllSolver, MonteCarloSolver, NaiveSolver, Solver};
+use std::fmt;
+
+/// Why a configuration was rejected by [`BayesCrowdConfig::validate`] (and
+/// therefore by the builder's `build`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ConfigError {
+    /// `budget == 0`: the run could never post a task.
+    ZeroBudget,
+    /// `latency == 0`: no round may run (use `latency = 1` for a one-shot
+    /// batch of the whole budget).
+    ZeroLatency,
+    /// `alpha` is outside `[0, 1]` (or NaN) — it is a fraction of `|O|`.
+    AlphaOutOfRange(f64),
+    /// `Hhs { m: 0 }`: the hybrid strategy's lookahead would never consider
+    /// a single candidate.
+    ZeroLookahead,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroBudget => write!(f, "budget must be at least 1 task"),
+            ConfigError::ZeroLatency => write!(f, "latency must be at least 1 round"),
+            ConfigError::AlphaOutOfRange(a) => {
+                write!(f, "alpha must lie in [0, 1], got {a}")
+            }
+            ConfigError::ZeroLookahead => {
+                write!(f, "HHS lookahead m must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Which probability solver drives entropy/utility computation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -126,6 +160,144 @@ impl BayesCrowdConfig {
             strategy: self.dominators,
         }
     }
+
+    /// A fluent, validated builder starting from [`Default`].
+    ///
+    /// ```
+    /// use bayescrowd::{BayesCrowdConfig, TaskStrategy};
+    ///
+    /// let config = BayesCrowdConfig::builder()
+    ///     .budget(50)
+    ///     .latency(5)
+    ///     .alpha(0.003)
+    ///     .strategy(TaskStrategy::Hhs { m: 15 })
+    ///     .build()
+    ///     .expect("valid config");
+    /// assert_eq!(config.tasks_per_round(), 10);
+    /// ```
+    pub fn builder() -> BayesCrowdConfigBuilder {
+        BayesCrowdConfigBuilder {
+            config: BayesCrowdConfig::default(),
+        }
+    }
+
+    /// Reopens this configuration as a builder, e.g. to tweak a preset:
+    /// `BayesCrowdConfig::nba_defaults().into_builder().budget(80).build()`.
+    pub fn into_builder(self) -> BayesCrowdConfigBuilder {
+        BayesCrowdConfigBuilder { config: self }
+    }
+
+    /// Checks the invariants the builder enforces. Direct struct-literal
+    /// construction deliberately skips this (tests use degenerate configs
+    /// like `budget: 0` to probe edge behavior); `try_run` re-checks.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.budget == 0 {
+            return Err(ConfigError::ZeroBudget);
+        }
+        if self.latency == 0 {
+            return Err(ConfigError::ZeroLatency);
+        }
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(ConfigError::AlphaOutOfRange(self.alpha));
+        }
+        if matches!(self.strategy, TaskStrategy::Hhs { m: 0 }) {
+            return Err(ConfigError::ZeroLookahead);
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`BayesCrowdConfig`]; see
+/// [`BayesCrowdConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct BayesCrowdConfigBuilder {
+    config: BayesCrowdConfig,
+}
+
+impl BayesCrowdConfigBuilder {
+    /// Budget `B`: total number of tasks the requester can afford.
+    pub fn budget(mut self, budget: usize) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Latency constraint `L`: number of task-selection rounds.
+    pub fn latency(mut self, latency: usize) -> Self {
+        self.config.latency = latency;
+        self
+    }
+
+    /// The pruning threshold `α` of c-table construction.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.alpha = alpha;
+        self
+    }
+
+    /// Task-selection strategy (FBS / UBS / HHS).
+    pub fn strategy(mut self, strategy: TaskStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// How objects are ranked when choosing the top-k per round.
+    pub fn ranking(mut self, ranking: ObjectRanking) -> Self {
+        self.config.ranking = ranking;
+        self
+    }
+
+    /// Probability solver.
+    pub fn solver(mut self, solver: SolverKind) -> Self {
+        self.config.solver = solver;
+        self
+    }
+
+    /// Dominator-set derivation (fast index vs pairwise baseline).
+    pub fn dominators(mut self, dominators: DominatorStrategy) -> Self {
+        self.config.dominators = dominators;
+        self
+    }
+
+    /// Bayesian-network modeling configuration.
+    pub fn model(mut self, model: ModelConfig) -> Self {
+        self.config.model = model;
+        self
+    }
+
+    /// Whether tasks in one round must be variable-disjoint.
+    pub fn conflict_free(mut self, conflict_free: bool) -> Self {
+        self.config.conflict_free = conflict_free;
+        self
+    }
+
+    /// Whether crowd answers propagate through the constraint store.
+    pub fn propagate_answers(mut self, propagate_answers: bool) -> Self {
+        self.config.propagate_answers = propagate_answers;
+        self
+    }
+
+    /// Compute per-object probabilities on multiple threads.
+    pub fn parallel(mut self, parallel: bool) -> Self {
+        self.config.parallel = parallel;
+        self
+    }
+
+    /// How failed tasks are re-queued.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Probability threshold above which an undecided object is an answer.
+    pub fn answer_threshold(mut self, answer_threshold: f64) -> Self {
+        self.config.answer_threshold = answer_threshold;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<BayesCrowdConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +336,99 @@ mod tests {
         let syn = BayesCrowdConfig::synthetic_defaults();
         assert_eq!(syn.budget, 1000);
         assert_eq!(syn.strategy, TaskStrategy::Hhs { m: 50 });
+    }
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let config = BayesCrowdConfig::builder()
+            .budget(6)
+            .latency(3)
+            .alpha(1.0)
+            .strategy(TaskStrategy::Hhs { m: 2 })
+            .ranking(ObjectRanking::Random { seed: 4 })
+            .solver(SolverKind::Naive)
+            .dominators(DominatorStrategy::Baseline)
+            .model(ModelConfig {
+                uniform_prior: true,
+                ..Default::default()
+            })
+            .conflict_free(false)
+            .propagate_answers(false)
+            .parallel(true)
+            .retry(RetryPolicy::none())
+            .answer_threshold(0.7)
+            .build()
+            .expect("valid config");
+        assert_eq!(config.budget, 6);
+        assert_eq!(config.latency, 3);
+        assert_eq!(config.strategy, TaskStrategy::Hhs { m: 2 });
+        assert_eq!(config.ranking, ObjectRanking::Random { seed: 4 });
+        assert_eq!(config.solver, SolverKind::Naive);
+        assert_eq!(config.dominators, DominatorStrategy::Baseline);
+        assert!(config.model.uniform_prior);
+        assert!(!config.conflict_free);
+        assert!(!config.propagate_answers);
+        assert!(config.parallel);
+        assert_eq!(config.retry, RetryPolicy::none());
+        assert!((config.answer_threshold - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builder_rejects_zero_budget() {
+        assert_eq!(
+            BayesCrowdConfig::builder().budget(0).build().unwrap_err(),
+            ConfigError::ZeroBudget
+        );
+    }
+
+    #[test]
+    fn builder_rejects_zero_latency() {
+        assert_eq!(
+            BayesCrowdConfig::builder().latency(0).build().unwrap_err(),
+            ConfigError::ZeroLatency
+        );
+    }
+
+    #[test]
+    fn builder_rejects_alpha_outside_unit_interval() {
+        for bad in [-0.1, 1.5, f64::NAN] {
+            let err = BayesCrowdConfig::builder().alpha(bad).build().unwrap_err();
+            assert!(
+                matches!(err, ConfigError::AlphaOutOfRange(_)),
+                "alpha {bad} gave {err:?}"
+            );
+        }
+        // The closed interval's endpoints are fine (tests use alpha = 1.0).
+        assert!(BayesCrowdConfig::builder().alpha(0.0).build().is_ok());
+        assert!(BayesCrowdConfig::builder().alpha(1.0).build().is_ok());
+    }
+
+    #[test]
+    fn builder_rejects_zero_lookahead() {
+        assert_eq!(
+            BayesCrowdConfig::builder()
+                .strategy(TaskStrategy::Hhs { m: 0 })
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroLookahead
+        );
+        // FBS/UBS have no lookahead to validate.
+        assert!(BayesCrowdConfig::builder()
+            .strategy(TaskStrategy::Fbs)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn config_errors_display_actionably() {
+        for (err, needle) in [
+            (ConfigError::ZeroBudget, "budget"),
+            (ConfigError::ZeroLatency, "latency"),
+            (ConfigError::AlphaOutOfRange(2.0), "alpha"),
+            (ConfigError::ZeroLookahead, "lookahead"),
+        ] {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Typed failures of [`BayesCrowd::try_run`](crate::BayesCrowd::try_run).
+
+use crate::config::ConfigError;
+use crate::report::RunReport;
+use bc_solver::SolverError;
+use std::fmt;
+
+/// Why a run could not produce a (healthy) report.
+#[derive(Clone, Debug)]
+pub enum RunError {
+    /// The dataset has no objects — there is no skyline to compute.
+    EmptyDataset,
+    /// The configuration failed validation (see [`ConfigError`]).
+    Config(ConfigError),
+    /// A probability computation failed even after falling back to ADPLL
+    /// (e.g. a condition variable with no learned distribution).
+    Solver(SolverError),
+    /// The platform swallowed every task: tasks were posted, none were ever
+    /// answered, and the query is still undecided. The degraded report —
+    /// machine-only answers under the prior — is attached so callers can
+    /// still use it deliberately.
+    PlatformExhausted {
+        /// The report of the degraded, crowd-less run.
+        report: Box<RunReport>,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::EmptyDataset => write!(f, "dataset has no objects"),
+            RunError::Config(e) => write!(f, "invalid configuration: {e}"),
+            RunError::Solver(e) => write!(f, "probability computation failed: {e}"),
+            RunError::PlatformExhausted { report } => write!(
+                f,
+                "crowd platform answered none of the {} posted tasks ({} expressions undecided)",
+                report.crowd.tasks_posted, report.open_exprs_left
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Config(e) => Some(e),
+            RunError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for RunError {
+    fn from(e: ConfigError) -> RunError {
+        RunError::Config(e)
+    }
+}
+
+impl From<SolverError> for RunError {
+    fn from(e: SolverError) -> RunError {
+        RunError::Solver(e)
+    }
+}

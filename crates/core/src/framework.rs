@@ -1,15 +1,21 @@
 //! The BayesCrowd framework (Algorithm 1 + Algorithm 4).
 
 use crate::config::{BayesCrowdConfig, SolverKind};
+use crate::error::RunError;
 use crate::report::RunReport;
 use crate::selection::{assemble_round, rank_objects};
 use bc_bayes::{MissingValueModel, Pmf};
 use bc_crowd::{CrowdPlatform, Task, TaskAnswer, TaskOutcome};
-use bc_ctable::{build_ctable, CTable, CmpOp, ConstraintStore, Relation};
+use bc_ctable::{build_ctable, build_ctable_with_stats, CTable, CmpOp, ConstraintStore, Relation};
 use bc_data::{Accuracy, Dataset, ObjectId, VarId};
-use bc_solver::{AdpllSolver, Solver, VarDists};
+use bc_obs::{Event, NoopObserver, Observer, RunPhase, Span};
+use bc_solver::{AdpllSolver, SolveStats, Solver, SolverError, VarDists};
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
+
+/// Per-object probabilities plus the solver effort behind them: aggregated
+/// stats and the number of solver calls (ADPLL fallbacks included).
+type SolvedBatch = Result<(Vec<(ObjectId, f64)>, SolveStats, u64), SolverError>;
 
 /// A failed task waiting in the retry queue.
 #[derive(Clone, Copy, Debug)]
@@ -63,14 +69,88 @@ impl BayesCrowd {
     /// its symbolic variables, answer probabilities come from the current
     /// posterior, and the report's `degraded`/`tasks_expired` fields say
     /// what was given up.
+    ///
+    /// This is the infallible convenience wrapper: it observes nothing
+    /// (every event goes to a [`NoopObserver`]), skips configuration
+    /// validation (degenerate configs like `budget: 0` run to a trivial
+    /// report), recovers the degraded report from a
+    /// [`RunError::PlatformExhausted`], and **panics** on the errors
+    /// [`BayesCrowd::try_run`] would return (empty dataset, unrecoverable
+    /// solver failure). Use `try_run` when those must be handled.
     pub fn run(&self, data: &Dataset, platform: &mut dyn CrowdPlatform) -> RunReport {
+        let mut noop = NoopObserver;
+        match self.run_inner(data, platform, &mut noop) {
+            Ok(report) => report,
+            Err(RunError::PlatformExhausted { report }) => *report,
+            Err(e) => panic!("BayesCrowd::run failed: {e} (use try_run to handle errors)"),
+        }
+    }
+
+    /// The fallible, observable run: like [`BayesCrowd::run`], but
+    ///
+    /// * the configuration is validated first
+    ///   ([`RunError::Config`](RunError)),
+    /// * an empty dataset and unrecoverable solver failures become typed
+    ///   errors instead of panics,
+    /// * a platform that answered nothing at all surfaces as
+    ///   [`RunError::PlatformExhausted`] (with the degraded report
+    ///   attached), and
+    /// * every phase of the run streams structured [`Event`]s to
+    ///   `observer` — pass `&mut NoopObserver` for none, a
+    ///   [`bc_obs::JsonLinesSink`] for a trace file, or a
+    ///   [`bc_obs::MetricsRecorder`] for in-memory aggregation.
+    pub fn try_run(
+        &self,
+        data: &Dataset,
+        platform: &mut dyn CrowdPlatform,
+        observer: &mut dyn Observer,
+    ) -> Result<RunReport, RunError> {
+        self.config.validate()?;
+        self.run_inner(data, platform, observer)
+    }
+
+    fn run_inner(
+        &self,
+        data: &Dataset,
+        platform: &mut dyn CrowdPlatform,
+        observer: &mut dyn Observer,
+    ) -> Result<RunReport, RunError> {
+        if data.n_objects() == 0 {
+            return Err(RunError::EmptyDataset);
+        }
         let t_start = Instant::now();
+        observer.event(&Event::RunStarted {
+            objects: data.n_objects(),
+            attrs: data.n_attrs(),
+            missing_vars: data.n_missing(),
+            budget: self.config.budget,
+            latency: self.config.latency,
+        });
 
         // ---- Modeling phase --------------------------------------------
-        let model = MissingValueModel::learn(data, &self.config.model);
+        let model_span = Span::start(RunPhase::Model);
+        let (model, model_stats) = MissingValueModel::learn_with_stats(data, &self.config.model);
         let base_pmfs: BTreeMap<VarId, Pmf> = model.into_pmfs();
         let mut dists: VarDists = base_pmfs.iter().map(|(k, v)| (*k, v.clone())).collect();
-        let mut ctable = build_ctable(data, &self.config.ctable_config());
+        observer.event(&Event::ModelTrained {
+            bic: model_stats.bic,
+            edges: model_stats.edges,
+            em_iters: model_stats.em_iters,
+            nanos: model_span.elapsed_nanos(),
+        });
+        model_span.finish(observer);
+
+        let ctable_span = Span::start(RunPhase::CTable);
+        let (mut ctable, build_stats) = build_ctable_with_stats(data, &self.config.ctable_config());
+        observer.event(&Event::CTableBuilt {
+            objects: build_stats.objects,
+            open_objects: build_stats.open,
+            vars: build_stats.vars,
+            exprs: build_stats.exprs,
+            pruned: build_stats.pruned,
+            nanos: ctable_span.elapsed_nanos(),
+        });
+        ctable_span.finish(observer);
         let modeling_time = t_start.elapsed();
 
         // ---- Crowdsourcing phase (Algorithm 4) --------------------------
@@ -94,6 +174,9 @@ impl BayesCrowd {
         // them) but never appear in the platform's round counter.
         let mut idle_rounds = 0usize;
         let mut round_idx = 0usize;
+        // Totals for the RunFinished event and platform-exhaustion check.
+        let mut total_posted = 0usize;
+        let mut total_answered = 0usize;
 
         // Condition probabilities are cached across rounds: a round's
         // answers only change the distributions of the variables they asked
@@ -110,7 +193,10 @@ impl BayesCrowd {
                 break;
             }
             round_idx += 1;
+            observer.event(&Event::RoundStarted { round: round_idx });
+            let round_start = Instant::now();
             let limit = mu.min(budget);
+            let select_span = Span::start(RunPhase::Select);
 
             // Re-posts come first: failed tasks whose backoff has elapsed
             // and whose answer is still useful (propagation may have decided
@@ -149,7 +235,14 @@ impl BayesCrowd {
                     .copied()
                     .filter(|o| !prob_cache.contains_key(o))
                     .collect();
-                let fresh = self.probabilities(&ctable, &stale, solver.as_ref(), &dists);
+                let fresh = self.probabilities(
+                    &ctable,
+                    &stale,
+                    solver.as_ref(),
+                    &dists,
+                    RunPhase::Select,
+                    observer,
+                )?;
                 evals += fresh.len() as u64;
                 prob_cache.extend(fresh);
                 let probs: Vec<(ObjectId, f64)> =
@@ -168,8 +261,18 @@ impl BayesCrowd {
                 attempts_in_batch.resize(batch.len() + fresh_tasks.len(), 0);
                 batch.extend(fresh_tasks);
             }
+            select_span.finish(observer);
 
             if batch.is_empty() {
+                observer.event(&Event::RoundFinished {
+                    round: round_idx,
+                    posted: 0,
+                    answered: 0,
+                    expired: 0,
+                    requeued: 0,
+                    retried: 0,
+                    nanos: round_start.elapsed().as_nanos(),
+                });
                 if pending.is_empty() {
                     break;
                 }
@@ -185,8 +288,14 @@ impl BayesCrowd {
             // tasks like any other and consume the same allowance.
             budget = budget.saturating_sub(limit);
 
+            let post_span = Span::start(RunPhase::Post);
             let results = platform.post_round(&batch);
+            post_span.finish(observer);
+            total_posted += batch.len();
+
             let mut answers: Vec<TaskAnswer> = Vec::with_capacity(batch.len());
+            let mut round_expired = 0usize;
+            let mut round_requeued = 0usize;
             for (i, task) in batch.iter().enumerate() {
                 // Defensive against foreign platforms returning short result
                 // vectors: a missing result is an expired task.
@@ -202,20 +311,24 @@ impl BayesCrowd {
                     TaskOutcome::Expired | TaskOutcome::Inconsistent => {
                         let attempts = attempts_in_batch[i] + 1;
                         if attempts < retry.max_attempts {
+                            round_requeued += 1;
                             pending.push(PendingTask {
                                 task: *task,
                                 attempts,
                                 eligible_round: round_idx + 1 + retry.backoff_rounds(attempts),
                             });
                         } else {
-                            tasks_expired += 1;
+                            round_expired += 1;
                         }
                     }
                 }
             }
+            tasks_expired += round_expired;
+            total_answered += answers.len();
             if answers.is_empty() {
                 rounds_stalled += 1;
             }
+            let propagate_span = Span::start(RunPhase::Propagate);
             // Invalidate cached probabilities of conditions touching any
             // variable the round asked about (their pmfs and/or conditions
             // change below).
@@ -229,7 +342,7 @@ impl BayesCrowd {
                 for a in &answers {
                     store.record(a.task.var, a.task.rhs, a.relation);
                 }
-                ctable.propagate(&store);
+                let prop_stats = ctable.propagate(&store);
                 // Re-condition each touched variable's distribution on its
                 // narrowed candidate set.
                 for (var, base) in &base_pmfs {
@@ -238,6 +351,12 @@ impl BayesCrowd {
                         dists.insert(*var, pmf);
                     }
                 }
+                observer.event(&Event::Propagated {
+                    answers: answers.len(),
+                    decided: prop_stats.decided,
+                    depth: prop_stats.max_depth,
+                    nanos: propagate_span.elapsed_nanos(),
+                });
             } else {
                 // Ablation: an answer only settles the exact expression it
                 // was derived from — no cross-condition inference.
@@ -256,40 +375,72 @@ impl BayesCrowd {
                     ctable.set_condition(o, simplified);
                 }
             }
+            propagate_span.finish(observer);
+            observer.event(&Event::RoundFinished {
+                round: round_idx,
+                posted: batch.len(),
+                answered: answers.len(),
+                expired: round_expired,
+                requeued: round_requeued,
+                retried: n_retries,
+                nanos: round_start.elapsed().as_nanos(),
+            });
         }
 
         // Tasks still queued (and still useful) when budget or latency ran
         // out never got their answer: graceful degradation, not an error.
-        tasks_expired += pending
+        let tasks_abandoned = pending
             .iter()
             .filter(|p| task_still_open(&ctable, &p.task))
             .count();
+        tasks_expired += tasks_abandoned;
+        if tasks_abandoned > 0 {
+            observer.event(&Event::Degraded { tasks_abandoned });
+        }
         let degraded = tasks_expired > 0;
 
         // ---- Derive the answer set --------------------------------------
         // Open conditions keep their symbolic variables; their objects are
         // judged by the probability under the current posterior, exactly as
-        // in a fully-budgeted run that simply stopped earlier.
+        // in a fully-budgeted run that simply stopped earlier. Cached
+        // probabilities are still valid (invalidation dropped everything a
+        // crowd answer touched), so only stale conditions are re-solved.
+        let finalize_span = Span::start(RunPhase::Finalize);
         let open = ctable.open_objects();
-        let final_probs = self.probabilities(&ctable, &open, solver.as_ref(), &dists);
-        evals += final_probs.len() as u64;
+        let stale: Vec<ObjectId> = open
+            .iter()
+            .copied()
+            .filter(|o| !prob_cache.contains_key(o))
+            .collect();
+        let fresh = self.probabilities(
+            &ctable,
+            &stale,
+            solver.as_ref(),
+            &dists,
+            RunPhase::Finalize,
+            observer,
+        )?;
+        evals += fresh.len() as u64;
+        prob_cache.extend(fresh);
         let certain = ctable.certain_answers();
         let mut result = certain.clone();
         let mut open_probabilities = BTreeMap::new();
-        for (o, p) in final_probs {
+        for o in open {
+            let p = prob_cache[&o];
             open_probabilities.insert(o, p);
             if p > self.config.answer_threshold {
                 result.push(o);
             }
         }
         result.sort_unstable();
+        finalize_span.finish(observer);
 
         let truth = platform
             .ground_truth()
             .and_then(|complete| bc_data::skyline::skyline_sfs(complete).ok());
         let accuracy = truth.map(|t| Accuracy::of(&result, &t));
 
-        RunReport {
+        let report = RunReport {
             result,
             certain,
             open_probabilities,
@@ -304,28 +455,90 @@ impl BayesCrowd {
             tasks_retried,
             rounds_stalled,
             degraded,
+        };
+        observer.event(&Event::RunFinished {
+            rounds: report.crowd.rounds,
+            tasks_posted: report.crowd.tasks_posted,
+            tasks_answered: total_answered,
+            tasks_expired: report.tasks_expired,
+            tasks_retried: report.tasks_retried,
+            probability_evals: report.probability_evals,
+            nanos: t_start.elapsed().as_nanos(),
+        });
+
+        // A platform that swallowed every single task is indistinguishable
+        // from no crowd at all: surface it as an error with the degraded
+        // report attached (the trace above is already complete).
+        if total_posted > 0 && total_answered == 0 && report.open_exprs_left > 0 {
+            return Err(RunError::PlatformExhausted {
+                report: Box::new(report),
+            });
         }
+        Ok(report)
     }
 
-    /// Per-object condition probabilities, optionally in parallel. Solver
-    /// errors (e.g. the naive enumerator's state cap) fall back to ADPLL,
-    /// which always succeeds.
+    /// Per-object condition probabilities, optionally in parallel, emitting
+    /// one [`Event::ProbabilityBatch`] per non-empty batch. Solver errors
+    /// (e.g. the naive enumerator's state cap) fall back to ADPLL; an error
+    /// that survives the fallback aborts the run as [`RunError::Solver`].
     fn probabilities(
         &self,
         ctable: &CTable,
         objects: &[ObjectId],
         solver: &dyn Solver,
         dists: &VarDists,
-    ) -> Vec<(ObjectId, f64)> {
-        let solve_one = |solver: &dyn Solver, o: ObjectId| -> (ObjectId, f64) {
-            let cond = ctable.condition(o);
-            let p = solver.probability(cond, dists).unwrap_or_else(|_| {
-                AdpllSolver::new()
-                    .probability(cond, dists)
-                    .expect("ADPLL cannot overflow and every variable is modeled")
-            });
-            (o, p)
-        };
+        phase: RunPhase,
+        observer: &mut dyn Observer,
+    ) -> Result<Vec<(ObjectId, f64)>, RunError> {
+        if objects.is_empty() {
+            return Ok(Vec::new());
+        }
+        let t = Instant::now();
+        let (out, stats, solver_calls) = self.solve_batch(ctable, objects, solver, dists)?;
+        observer.event(&Event::ProbabilityBatch {
+            phase,
+            objects: objects.len(),
+            solver_calls,
+            branches: stats.branches,
+            cache_hits: stats.cache_hits,
+            nanos: t.elapsed().as_nanos(),
+        });
+        Ok(out)
+    }
+
+    fn solve_batch(
+        &self,
+        ctable: &CTable,
+        objects: &[ObjectId],
+        solver: &dyn Solver,
+        dists: &VarDists,
+    ) -> SolvedBatch {
+        // One worker's share: solve sequentially, attributing per-call
+        // effort via snapshot diffs and counting fallback re-solves.
+        fn solve_chunk(
+            ctable: &CTable,
+            objects: &[ObjectId],
+            solver: &dyn Solver,
+            dists: &VarDists,
+        ) -> SolvedBatch {
+            let mut out = Vec::with_capacity(objects.len());
+            let mut stats = SolveStats::default();
+            let mut calls = 0u64;
+            for &o in objects {
+                let cond = ctable.condition(o);
+                calls += 1;
+                let (p, s) = match solver.probability_with_stats(cond, dists) {
+                    Ok(solved) => solved,
+                    Err(_) => {
+                        calls += 1;
+                        AdpllSolver::new().probability_with_stats(cond, dists)?
+                    }
+                };
+                stats += s;
+                out.push((o, p));
+            }
+            Ok((out, stats, calls))
+        }
 
         if self.config.parallel && objects.len() > 64 && self.config.solver == SolverKind::Adpll {
             let n_threads = std::thread::available_parallelism()
@@ -334,26 +547,36 @@ impl BayesCrowd {
                 .min(objects.len());
             let chunk = objects.len().div_ceil(n_threads);
             let mut out: Vec<(ObjectId, f64)> = Vec::with_capacity(objects.len());
+            let mut stats = SolveStats::default();
+            let mut calls = 0u64;
+            let mut first_err: Option<SolverError> = None;
             std::thread::scope(|s| {
                 let handles: Vec<_> = objects
                     .chunks(chunk)
                     .map(|slice| {
                         s.spawn(move || {
                             let local = AdpllSolver::new();
-                            slice
-                                .iter()
-                                .map(|&o| solve_one(&local, o))
-                                .collect::<Vec<_>>()
+                            solve_chunk(ctable, slice, &local, dists)
                         })
                     })
                     .collect();
                 for h in handles {
-                    out.extend(h.join().expect("probability worker panicked"));
+                    match h.join().expect("probability worker panicked") {
+                        Ok((chunk_out, chunk_stats, chunk_calls)) => {
+                            out.extend(chunk_out);
+                            stats += chunk_stats;
+                            calls += chunk_calls;
+                        }
+                        Err(e) => first_err = first_err.take().or(Some(e)),
+                    }
                 }
             });
-            out
+            match first_err {
+                Some(e) => Err(e),
+                None => Ok((out, stats, calls)),
+            }
         } else {
-            objects.iter().map(|&o| solve_one(solver, o)).collect()
+            solve_chunk(ctable, objects, solver, dists)
         }
     }
 }
@@ -611,5 +834,138 @@ mod tests {
         let b = mk(true);
         assert_eq!(a.result, b.result);
         assert_eq!(a.crowd.tasks_posted, b.crowd.tasks_posted);
+        // Chunking must not change how often conditions are solved.
+        assert_eq!(a.probability_evals, b.probability_evals);
+    }
+
+    /// A platform that accepts every task and answers none of them.
+    struct BlackHolePlatform {
+        stats: bc_crowd::CrowdStats,
+    }
+
+    impl BlackHolePlatform {
+        fn new() -> BlackHolePlatform {
+            BlackHolePlatform {
+                stats: bc_crowd::CrowdStats::default(),
+            }
+        }
+    }
+
+    impl CrowdPlatform for BlackHolePlatform {
+        fn post_round(&mut self, tasks: &[Task]) -> Vec<bc_crowd::TaskResult> {
+            self.stats.tasks_posted += tasks.len();
+            self.stats.rounds += 1;
+            tasks
+                .iter()
+                .map(|&task| bc_crowd::TaskResult {
+                    task,
+                    outcome: TaskOutcome::Expired,
+                })
+                .collect()
+        }
+
+        fn stats(&self) -> bc_crowd::CrowdStats {
+            self.stats
+        }
+    }
+
+    #[test]
+    fn finalize_reuses_cached_probabilities() {
+        // When no crowd answer arrives, no variable distribution changes, so
+        // every condition probability computed during task selection is
+        // still valid at finalize: each open object must be solved exactly
+        // once across the whole run, and the finalize phase must not emit a
+        // probability batch at all.
+        let data = paper_dataset();
+        let mut platform = BlackHolePlatform::new();
+        let mut metrics = bc_obs::MetricsRecorder::new();
+        let err = BayesCrowd::new(sample_config(TaskStrategy::Fbs))
+            .try_run(&data, &mut platform, &mut metrics)
+            .unwrap_err();
+        let report = match err {
+            RunError::PlatformExhausted { report } => *report,
+            other => panic!("expected PlatformExhausted, got {other}"),
+        };
+        let n_open = report.open_probabilities.len();
+        assert!(n_open > 0);
+        assert_eq!(report.probability_evals, n_open as u64);
+        let finalize_batches = metrics
+            .events()
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::ProbabilityBatch {
+                        phase: RunPhase::Finalize,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(finalize_batches, 0, "finalize re-solved a warm cache");
+    }
+
+    #[test]
+    fn run_recovers_the_report_when_the_platform_is_exhausted() {
+        // The infallible wrapper must not panic on PlatformExhausted — the
+        // degraded machine-only report is a usable answer.
+        let data = paper_dataset();
+        let mut platform = BlackHolePlatform::new();
+        let report = BayesCrowd::new(sample_config(TaskStrategy::Fbs)).run(&data, &mut platform);
+        assert!(report.crowd.tasks_posted > 0);
+        assert!(report.degraded);
+        assert!(report.certain.contains(&ObjectId(1)));
+    }
+
+    #[test]
+    fn try_run_rejects_an_empty_dataset() {
+        let domain = bc_data::Domain::new("a", 4).unwrap();
+        let data = Dataset::from_rows("empty", vec![domain], vec![]).unwrap();
+        let oracle = GroundTruthOracle::new(paper_completion());
+        let mut platform = SimulatedPlatform::new(oracle, 1.0, 1);
+        let err = BayesCrowd::new(sample_config(TaskStrategy::Fbs))
+            .try_run(&data, &mut platform, &mut NoopObserver)
+            .unwrap_err();
+        assert!(matches!(err, RunError::EmptyDataset), "{err}");
+    }
+
+    #[test]
+    fn try_run_rejects_an_invalid_config() {
+        // Struct-literal construction deliberately skips validation (the
+        // zero-budget ablation above depends on it); try_run re-checks.
+        let data = paper_dataset();
+        let oracle = GroundTruthOracle::new(paper_completion());
+        let mut platform = SimulatedPlatform::new(oracle, 1.0, 1);
+        let config = BayesCrowdConfig {
+            budget: 0,
+            ..sample_config(TaskStrategy::Fbs)
+        };
+        let err = BayesCrowd::new(config)
+            .try_run(&data, &mut platform, &mut NoopObserver)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RunError::Config(crate::config::ConfigError::ZeroBudget)
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn try_run_report_matches_run() {
+        let data = paper_dataset();
+        let mk_platform = || {
+            let oracle = GroundTruthOracle::new(paper_completion());
+            SimulatedPlatform::new(oracle, 1.0, 7)
+        };
+        let config = sample_config(TaskStrategy::Hhs { m: 2 });
+        let via_run = BayesCrowd::new(config.clone()).run(&data, &mut mk_platform());
+        let via_try = BayesCrowd::new(config)
+            .try_run(&data, &mut mk_platform(), &mut NoopObserver)
+            .unwrap();
+        assert_eq!(via_run.result, via_try.result);
+        assert_eq!(via_run.probability_evals, via_try.probability_evals);
+        assert_eq!(via_run.crowd.tasks_posted, via_try.crowd.tasks_posted);
     }
 }

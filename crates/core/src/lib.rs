@@ -45,16 +45,62 @@
 //! let report = BayesCrowd::new(config).run(&data, &mut platform);
 //! assert_eq!(report.accuracy.unwrap().f1, 1.0);
 //! ```
+//!
+//! The validated way in — a fluent builder plus the fallible entry point
+//! [`BayesCrowd::try_run`], which takes any [`bc_obs::Observer`] so the run
+//! can be traced or metered:
+//!
+//! ```
+//! use bayescrowd::prelude::*;
+//! use bc_crowd::{GroundTruthOracle, SimulatedPlatform};
+//! use bc_data::generators::sample::{paper_completion, paper_dataset};
+//!
+//! let data = paper_dataset();
+//! let oracle = GroundTruthOracle::new(paper_completion());
+//! let mut platform = SimulatedPlatform::new(oracle, 1.0, 42);
+//!
+//! let config = BayesCrowdConfig::builder()
+//!     .budget(20)
+//!     .latency(10)
+//!     .alpha(1.0)
+//!     .strategy(TaskStrategy::Hhs { m: 2 })
+//!     .build()
+//!     .expect("valid configuration");
+//! let mut metrics = MetricsRecorder::new();
+//! let report = BayesCrowd::new(config)
+//!     .try_run(&data, &mut platform, &mut metrics)
+//!     .expect("run succeeds");
+//! assert_eq!(report.accuracy.unwrap().f1, 1.0);
+//! assert_eq!(metrics.counters().probability_evals, report.probability_evals);
+//! ```
 
 pub mod config;
+pub mod error;
 pub mod framework;
 pub mod report;
 pub mod selection;
 pub mod strategy;
 
 pub use bc_crowd::RetryPolicy;
-pub use config::{BayesCrowdConfig, SolverKind};
+pub use config::{BayesCrowdConfig, BayesCrowdConfigBuilder, ConfigError, SolverKind};
+pub use error::RunError;
 pub use framework::BayesCrowd;
 pub use report::RunReport;
 pub use selection::ObjectRanking;
 pub use strategy::TaskStrategy;
+
+/// One-stop imports for driving a run: the framework, its validated
+/// configuration surface, the typed errors, and the observability types
+/// accepted by [`BayesCrowd::try_run`].
+pub mod prelude {
+    pub use crate::config::{BayesCrowdConfig, BayesCrowdConfigBuilder, ConfigError, SolverKind};
+    pub use crate::error::RunError;
+    pub use crate::framework::BayesCrowd;
+    pub use crate::report::RunReport;
+    pub use crate::selection::ObjectRanking;
+    pub use crate::strategy::TaskStrategy;
+    pub use bc_crowd::RetryPolicy;
+    pub use bc_obs::{
+        Event, JsonLinesSink, MetricsRecorder, NoopObserver, Observer, RunPhase, Tee,
+    };
+}

@@ -32,13 +32,13 @@ fn main() {
     let truth = skyline_sfs(&complete).expect("complete data");
     println!("true skyline size: {}", truth.len());
 
-    let config = BayesCrowdConfig {
-        budget: 60,
-        latency: 6,
-        alpha: 0.2,
-        strategy: TaskStrategy::Hhs { m: 10 },
-        ..Default::default()
-    };
+    let config = BayesCrowdConfig::builder()
+        .budget(60)
+        .latency(6)
+        .alpha(0.2)
+        .strategy(TaskStrategy::Hhs { m: 10 })
+        .build()
+        .expect("the example configuration is valid");
 
     // Machine-only: no crowd at all, answer from the learned distributions.
     let (machine, _) = machine_only_answers(&incomplete, &config);

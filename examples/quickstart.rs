@@ -7,7 +7,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use bayescrowd::{BayesCrowd, BayesCrowdConfig, TaskStrategy};
+use bayescrowd::prelude::*;
 use bc_crowd::{GroundTruthOracle, SimulatedPlatform};
 use bc_ctable::dominators::DominatorIndex;
 use bc_ctable::{build_ctable, CTableConfig, DominatorStrategy};
@@ -69,14 +69,18 @@ fn main() {
     println!("\nCrowdsourcing with budget 20, latency 10, HHS(m = 2):");
     let oracle = GroundTruthOracle::new(paper_completion());
     let mut platform = SimulatedPlatform::new(oracle, 1.0, 42);
-    let config = BayesCrowdConfig {
-        budget: 20,
-        latency: 10,
-        alpha: 1.0,
-        strategy: TaskStrategy::Hhs { m: 2 },
-        ..Default::default()
-    };
-    let report = BayesCrowd::new(config).run(&data, &mut platform);
+    let config = BayesCrowdConfig::builder()
+        .budget(20)
+        .latency(10)
+        .alpha(1.0)
+        .strategy(TaskStrategy::Hhs { m: 2 })
+        .build()
+        .expect("the quickstart configuration is valid");
+    // Record the run's structured events alongside the report.
+    let mut metrics = MetricsRecorder::new();
+    let report = BayesCrowd::new(config)
+        .try_run(&data, &mut platform, &mut metrics)
+        .expect("the sample run succeeds");
 
     for (i, ta) in platform.log().iter().enumerate() {
         println!(
@@ -93,4 +97,7 @@ fn main() {
         "precision = {:.3}, recall = {:.3}, F1 = {:.3}",
         acc.precision, acc.recall, acc.f1
     );
+
+    // ---- What the observability layer saw --------------------------------
+    println!("\nRun metrics:\n{}", metrics.summary());
 }

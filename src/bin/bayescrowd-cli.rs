@@ -15,11 +15,16 @@
 //! # the workforce quits each round, and failed tasks get 3 attempts.
 //! bayescrowd-cli simulate --data movies.csv --complete movies_full.csv \
 //!     --expiry 0.2 --attrition 0.05 --max-attempts 3
+//!
+//! # Observability: write a JSON-lines event trace and print per-phase
+//! # timings plus counters after the run.
+//! bayescrowd-cli simulate --data movies.csv --complete movies_full.csv \
+//!     --trace run.jsonl --metrics
 //! ```
 
 use bayescrowd::framework::machine_only_answers;
-use bayescrowd::{BayesCrowd, BayesCrowdConfig, TaskStrategy};
-use bc_crowd::{FaultConfig, FaultyPlatform, GroundTruthOracle, RetryPolicy, SimulatedPlatform};
+use bayescrowd::prelude::*;
+use bc_crowd::{FaultConfig, FaultyPlatform, GroundTruthOracle, SimulatedPlatform};
 use bc_data::csv::parse_csv;
 use bc_data::Dataset;
 use std::process::exit;
@@ -41,6 +46,8 @@ struct Args {
     max_attempts: usize,
     escalate_workers: usize,
     backoff: usize,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 fn usage() -> ! {
@@ -49,7 +56,8 @@ fn usage() -> ! {
          [--complete FILE.csv] [--budget N] [--latency N] [--alpha F] \
          [--strategy fbs|ubs|hhs] [--m N] [--worker-accuracy F] [--seed N] \
          [--expiry F] [--attrition F] [--spammer-rate F] \
-         [--max-attempts N] [--escalate-workers N] [--backoff N]"
+         [--max-attempts N] [--escalate-workers N] [--backoff N] \
+         [--trace FILE.jsonl] [--metrics]"
     );
     exit(2);
 }
@@ -72,6 +80,8 @@ fn parse_args() -> Args {
         max_attempts: 2,
         escalate_workers: 0,
         backoff: 0,
+        trace: None,
+        metrics: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -106,6 +116,8 @@ fn parse_args() -> Args {
                 args.escalate_workers = value(&mut i).parse().unwrap_or_else(|_| usage())
             }
             "--backoff" => args.backoff = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--trace" => args.trace = Some(value(&mut i)),
+            "--metrics" => args.metrics = true,
             _ => usage(),
         }
         i += 1;
@@ -144,19 +156,22 @@ fn main() {
         "hhs" => TaskStrategy::Hhs { m: args.m },
         _ => usage(),
     };
-    let config = BayesCrowdConfig {
-        budget: args.budget,
-        latency: args.latency,
-        alpha: args.alpha,
-        strategy,
-        parallel: true,
-        retry: RetryPolicy {
+    let config = BayesCrowdConfig::builder()
+        .budget(args.budget)
+        .latency(args.latency)
+        .alpha(args.alpha)
+        .strategy(strategy)
+        .parallel(true)
+        .retry(RetryPolicy {
             max_attempts: args.max_attempts.max(1),
             escalate_workers: args.escalate_workers,
             backoff_base: args.backoff,
-        },
-        ..Default::default()
-    };
+        })
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("invalid configuration: {e}");
+            exit(2);
+        });
 
     match args.mode.as_str() {
         "machine" => {
@@ -192,15 +207,51 @@ fn main() {
                 ..FaultConfig::default()
             };
             let engine = BayesCrowd::new(config);
+            let mut metrics = MetricsRecorder::new();
+            let mut sink = args.trace.as_deref().map(|path| {
+                JsonLinesSink::create(path).unwrap_or_else(|e| {
+                    eprintln!("cannot create trace file {path}: {e}");
+                    exit(1);
+                })
+            });
+            let mut noop = NoopObserver;
             // Only wrap when faults were requested, so fault-free runs stay
             // bit-identical to earlier versions under the same seed.
-            let report = if faults == FaultConfig::default() {
-                let mut platform = sim;
-                engine.run(&data, &mut platform)
-            } else {
-                let mut platform = FaultyPlatform::new(sim, faults, args.seed ^ 0x5eed);
-                engine.run(&data, &mut platform)
+            let run = move |observer: &mut dyn Observer| {
+                if faults == FaultConfig::default() {
+                    let mut platform = sim;
+                    engine.try_run(&data, &mut platform, observer)
+                } else {
+                    let mut platform = FaultyPlatform::new(sim, faults, args.seed ^ 0x5eed);
+                    engine.try_run(&data, &mut platform, observer)
+                }
             };
+            let outcome = match (&mut sink, args.metrics) {
+                (Some(s), true) => run(&mut Tee::new(s, &mut metrics)),
+                (Some(s), false) => run(s),
+                (None, true) => run(&mut metrics),
+                (None, false) => run(&mut noop),
+            };
+            let report = match outcome {
+                Ok(report) => report,
+                Err(RunError::PlatformExhausted { report }) => {
+                    eprintln!("warning: the crowd answered nothing — machine-only answers below");
+                    *report
+                }
+                Err(e) => {
+                    eprintln!("run failed: {e}");
+                    exit(1);
+                }
+            };
+            if let Some(s) = sink {
+                eprintln!("trace: {} events written", s.events_written());
+                if let Some(e) = s.io_error() {
+                    eprintln!("warning: trace writer hit an I/O error: {e}");
+                }
+            }
+            if args.metrics {
+                println!("{}", metrics.summary());
+            }
             println!("answers ({} objects):", report.result.len());
             for o in &report.result {
                 println!("  {o}");

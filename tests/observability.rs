@@ -1,0 +1,187 @@
+//! End-to-end contracts of the observability layer: traces are
+//! deterministic, JSON-lines sinks parse back, and every counter in the
+//! event stream reconciles with the final [`RunReport`].
+
+use bayescrowd::prelude::*;
+use bc_crowd::{FaultConfig, FaultyPlatform, GroundTruthOracle, SimulatedPlatform};
+use bc_data::generators::sample::{paper_completion, paper_dataset};
+use proptest::prelude::*;
+
+fn sample_config() -> BayesCrowdConfig {
+    BayesCrowdConfig::builder()
+        .budget(20)
+        .latency(10)
+        .alpha(1.0)
+        .strategy(TaskStrategy::Hhs { m: 2 })
+        .build()
+        .expect("the sample configuration is valid")
+}
+
+/// Runs the paper sample against a simulated crowd, recording every event.
+/// PlatformExhausted still carries a full report, so both outcomes fold
+/// into the same shape.
+fn run_recorded(accuracy: f64, seed: u64) -> (RunReport, MetricsRecorder) {
+    let data = paper_dataset();
+    let oracle = GroundTruthOracle::new(paper_completion());
+    let mut platform = SimulatedPlatform::new(oracle, accuracy, seed);
+    let mut metrics = MetricsRecorder::new();
+    let report = match BayesCrowd::new(sample_config()).try_run(&data, &mut platform, &mut metrics)
+    {
+        Ok(r) => r,
+        Err(RunError::PlatformExhausted { report }) => *report,
+        Err(e) => panic!("unexpected run error: {e}"),
+    };
+    (report, metrics)
+}
+
+/// The event sequence of a seeded run is deterministic once timing fields
+/// are redacted: the trace is a golden artifact, not a best-effort log.
+#[test]
+fn golden_trace_is_deterministic_modulo_timing() {
+    let (_, a) = run_recorded(1.0, 42);
+    let (_, b) = run_recorded(1.0, 42);
+    assert_eq!(a.redacted_events(), b.redacted_events());
+    assert!(!a.events().is_empty());
+}
+
+/// Structural invariants of any trace: RunStarted first, RunFinished last,
+/// and every RoundStarted paired with exactly one RoundFinished for the
+/// same round number, in order.
+#[test]
+fn trace_is_well_formed() {
+    let (_, metrics) = run_recorded(1.0, 7);
+    let events = metrics.events();
+    assert!(matches!(events.first(), Some(Event::RunStarted { .. })));
+    assert!(matches!(events.last(), Some(Event::RunFinished { .. })));
+    let mut open_round: Option<usize> = None;
+    let mut finished = Vec::new();
+    for e in events {
+        match e {
+            Event::RoundStarted { round } => {
+                assert_eq!(open_round, None, "round {round} started inside a round");
+                open_round = Some(*round);
+            }
+            Event::RoundFinished { round, .. } => {
+                assert_eq!(open_round, Some(*round), "round {round} finished unopened");
+                open_round = None;
+                finished.push(*round);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(open_round, None, "a round was never finished");
+    let expected: Vec<usize> = (1..=finished.len()).collect();
+    assert_eq!(finished, expected, "rounds must finish in order, no gaps");
+}
+
+/// Writes a seeded end-to-end trace through the JSON-lines sink, parses it
+/// back, and reconciles its counters against the final report.
+#[test]
+fn json_lines_trace_reconciles_with_the_report() {
+    let path = std::env::temp_dir().join(format!("bc-obs-trace-{}.jsonl", std::process::id()));
+    let data = paper_dataset();
+    let oracle = GroundTruthOracle::new(paper_completion());
+    let mut platform = SimulatedPlatform::new(oracle, 1.0, 42);
+    let mut sink = JsonLinesSink::create(&path).expect("temp file is writable");
+    let report = BayesCrowd::new(sample_config())
+        .try_run(&data, &mut platform, &mut sink)
+        .expect("the sample run succeeds");
+    let written = sink.events_written();
+    assert!(sink.io_error().is_none());
+    drop(sink);
+
+    let text = std::fs::read_to_string(&path).expect("trace file exists");
+    let _ = std::fs::remove_file(&path);
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let (seq, event) =
+            Event::from_json_line(line).unwrap_or_else(|| panic!("unparseable line {i}: {line}"));
+        assert_eq!(seq, i as u64, "sequence numbers are dense and ordered");
+        events.push(event);
+    }
+    assert_eq!(events.len() as u64, written);
+
+    // Replay the parsed trace through a recorder: the aggregates must match
+    // the report the run itself returned.
+    let mut replay = MetricsRecorder::new();
+    for e in &events {
+        replay.event(e);
+    }
+    let c = replay.counters();
+    assert_eq!(c.posted as usize, report.crowd.tasks_posted);
+    assert_eq!(c.expired as usize, report.tasks_expired);
+    assert_eq!(c.retried as usize, report.tasks_retried);
+    assert_eq!(c.probability_evals, report.probability_evals);
+    match events.last() {
+        Some(&Event::RunFinished {
+            rounds,
+            tasks_posted,
+            tasks_expired,
+            tasks_retried,
+            probability_evals,
+            ..
+        }) => {
+            assert_eq!(rounds, report.crowd.rounds);
+            assert_eq!(tasks_posted, report.crowd.tasks_posted);
+            assert_eq!(tasks_expired, report.tasks_expired);
+            assert_eq!(tasks_retried, report.tasks_retried);
+            assert_eq!(probability_evals, report.probability_evals);
+        }
+        other => panic!("trace must end in RunFinished, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under arbitrary fault injection, every round's counters reconcile
+    /// (`posted = answered + expired + requeued`) and the trace totals
+    /// match the report — including the tasks abandoned at shutdown.
+    #[test]
+    fn round_counters_reconcile_under_faults(
+        seed in 0u64..1000,
+        expiry in 0.0f64..1.0,
+        attrition in 0.0f64..0.5,
+        duplicate in 0.0f64..0.5,
+    ) {
+        let data = paper_dataset();
+        let oracle = GroundTruthOracle::new(paper_completion());
+        let sim = SimulatedPlatform::new(oracle, 1.0, seed);
+        let faults = FaultConfig {
+            expiry_prob: expiry,
+            attrition,
+            duplicate_prob: duplicate,
+            ..FaultConfig::default()
+        };
+        let mut platform = FaultyPlatform::new(sim, faults, seed ^ 0x5eed);
+        let mut metrics = MetricsRecorder::new();
+        let report = match BayesCrowd::new(sample_config())
+            .try_run(&data, &mut platform, &mut metrics)
+        {
+            Ok(r) => r,
+            Err(RunError::PlatformExhausted { report }) => *report,
+            Err(e) => panic!("unexpected run error: {e}"),
+        };
+
+        let mut abandoned = 0usize;
+        for e in metrics.events() {
+            match *e {
+                Event::RoundFinished { round, posted, answered, expired, requeued, .. } => {
+                    prop_assert_eq!(
+                        posted,
+                        answered + expired + requeued,
+                        "round {} does not reconcile",
+                        round
+                    );
+                }
+                Event::Degraded { tasks_abandoned } => abandoned += tasks_abandoned,
+                _ => {}
+            }
+        }
+        let c = metrics.counters();
+        prop_assert_eq!(c.posted as usize, report.crowd.tasks_posted);
+        prop_assert_eq!(c.expired as usize + abandoned, report.tasks_expired);
+        prop_assert_eq!(c.retried as usize, report.tasks_retried);
+        prop_assert_eq!(c.probability_evals, report.probability_evals);
+    }
+}

@@ -314,7 +314,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// The strategy behind [`vec`].
+    /// The strategy behind [`vec()`].
     pub struct VecStrategy<S, Z> {
         element: S,
         size: Z,
