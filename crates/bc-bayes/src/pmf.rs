@@ -47,6 +47,31 @@ impl Pmf {
         }
     }
 
+    /// Exact constructor: takes the probabilities verbatim, without
+    /// renormalizing, so a serialized pmf restores bit-for-bit. The entries
+    /// must already be (numerically) a distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs` is empty, contains a negative or non-finite entry,
+    /// or sums to something visibly different from one.
+    pub fn from_probs(probs: Vec<f64>) -> Pmf {
+        assert!(!probs.is_empty(), "a pmf needs at least one value");
+        let mut total = 0.0;
+        for &p in &probs {
+            assert!(
+                p.is_finite() && p >= 0.0,
+                "pmf probabilities must be finite and non-negative"
+            );
+            total += p;
+        }
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "pmf probabilities must sum to one (got {total})"
+        );
+        Pmf { probs }
+    }
+
     /// The uniform distribution over `0..card` — the "no prior knowledge"
     /// default the paper assumes for missing values before BN training.
     pub fn uniform(card: usize) -> Pmf {
@@ -328,5 +353,32 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn rejects_negative_weights() {
         let _ = Pmf::from_weights(vec![0.5, -0.1]);
+    }
+
+    #[test]
+    fn from_probs_is_exact() {
+        // from_weights divides by the total; from_probs must not touch the
+        // entries at all, or serialized pmfs would drift on restore.
+        let original = Pmf::from_weights(vec![1.0, 2.0, 4.0]);
+        let restored = Pmf::from_probs(original.probs().to_vec());
+        assert_eq!(original.probs(), restored.probs());
+        assert_eq!(
+            original
+                .probs()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>(),
+            restored
+                .probs()
+                .iter()
+                .map(|p| p.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to one")]
+    fn from_probs_rejects_unnormalized_entries() {
+        let _ = Pmf::from_probs(vec![0.5, 0.2]);
     }
 }

@@ -9,6 +9,7 @@
 //! twin on the same seed.
 
 use crate::platform::{CrowdPlatform, CrowdStats};
+use crate::state::{PlatformState, PlatformStateError};
 use crate::task::{Task, TaskOutcome, TaskResult};
 use bc_ctable::Relation;
 use bc_data::Dataset;
@@ -269,6 +270,36 @@ impl<P: CrowdPlatform> CrowdPlatform for FaultyPlatform<P> {
     fn ground_truth(&self) -> Option<&Dataset> {
         self.inner.ground_truth()
     }
+
+    fn save_state(&self) -> Option<PlatformState> {
+        Some(PlatformState::Faulty {
+            rng: self.rng.state(),
+            workforce: self.workforce,
+            overlay: self.overlay,
+            faults: self.faults,
+            inner: Box::new(self.inner.save_state()?),
+        })
+    }
+
+    fn load_state(&mut self, state: &PlatformState) -> Result<(), PlatformStateError> {
+        match state {
+            PlatformState::Faulty {
+                rng,
+                workforce,
+                overlay,
+                faults,
+                inner,
+            } => {
+                self.inner.load_state(inner)?;
+                self.rng = rand::rngs::StdRng::from_state(*rng);
+                self.workforce = *workforce;
+                self.overlay = *overlay;
+                self.faults = *faults;
+                Ok(())
+            }
+            _ => Err(PlatformStateError::Mismatch),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -482,5 +513,42 @@ mod tests {
             ..FaultConfig::default()
         };
         let _ = FaultyPlatform::new(perfect_inner(3), cfg, 0);
+    }
+
+    #[test]
+    fn saved_state_nests_and_continues_the_fault_stream() {
+        let cfg = FaultConfig {
+            expiry_prob: 0.3,
+            attrition: 0.05,
+            spammer_rate: 0.2,
+            straggler_prob: 0.2,
+            duplicate_prob: 0.1,
+            ..FaultConfig::default()
+        };
+        let mut original = FaultyPlatform::new(perfect_inner(3), cfg, 21);
+        for i in 0..4 {
+            post(&mut original, &[task(4, 3, i)]);
+        }
+        let state = original.save_state().expect("both layers save");
+        assert!(matches!(state, PlatformState::Faulty { .. }));
+
+        let mut restored = FaultyPlatform::new(perfect_inner(3), cfg, 21);
+        restored.load_state(&state).unwrap();
+        assert_eq!(restored.stats(), original.stats());
+        assert_eq!(restored.fault_stats(), original.fault_stats());
+        for i in 0..10 {
+            assert_eq!(
+                post(&mut original, &[task(4, 3, i % 5), task(4, 1, i % 5)]),
+                post(&mut restored, &[task(4, 3, i % 5), task(4, 1, i % 5)])
+            );
+        }
+        assert_eq!(restored.stats(), original.stats());
+    }
+
+    #[test]
+    fn load_state_rejects_an_unwrapped_state() {
+        let mut faulty = FaultyPlatform::new(perfect_inner(3), FaultConfig::default(), 5);
+        let bare = perfect_inner(3).save_state().unwrap();
+        assert_eq!(faulty.load_state(&bare), Err(PlatformStateError::Mismatch));
     }
 }

@@ -23,6 +23,7 @@ pub mod oracle;
 pub mod platform;
 pub mod pool;
 pub mod retry;
+pub mod state;
 pub mod task;
 pub mod unary;
 pub mod vote;
@@ -34,6 +35,7 @@ pub use oracle::GroundTruthOracle;
 pub use platform::{CrowdPlatform, CrowdStats, SimulatedPlatform};
 pub use pool::WorkerPool;
 pub use retry::RetryPolicy;
+pub use state::{PlatformState, PlatformStateError};
 pub use task::{Task, TaskAnswer, TaskOutcome, TaskResult};
 pub use unary::UnaryTask;
 pub use vote::{majority_vote, vote_with_tie_break};

@@ -4,6 +4,7 @@
 use crate::cost::CostModel;
 use crate::oracle::GroundTruthOracle;
 use crate::pool::WorkerPool;
+use crate::state::{PlatformState, PlatformStateError};
 use crate::task::{Task, TaskAnswer, TaskOutcome, TaskResult};
 use crate::vote::{majority_vote, vote_with_tie_break};
 use crate::worker::Worker;
@@ -59,6 +60,22 @@ pub trait CrowdPlatform {
     /// `None` and reports simply carry no accuracy.
     fn ground_truth(&self) -> Option<&Dataset> {
         None
+    }
+
+    /// Captures the platform's mutable state for a durable checkpoint, or
+    /// `None` when the platform has nothing it can promise to restore (the
+    /// default). Construction-time configuration is *not* part of the
+    /// state; see [`crate::PlatformState`].
+    fn save_state(&self) -> Option<PlatformState> {
+        None
+    }
+
+    /// Restores mutable state previously captured by
+    /// [`CrowdPlatform::save_state`] onto a freshly constructed platform of
+    /// the same shape and configuration. The default refuses.
+    fn load_state(&mut self, state: &PlatformState) -> Result<(), PlatformStateError> {
+        let _ = state;
+        Err(PlatformStateError::Unsupported)
     }
 }
 
@@ -273,6 +290,33 @@ impl CrowdPlatform for SimulatedPlatform {
     fn ground_truth(&self) -> Option<&Dataset> {
         Some(self.oracle.complete())
     }
+
+    fn save_state(&self) -> Option<PlatformState> {
+        Some(PlatformState::Simulated {
+            rng: self.rng.state(),
+            stats: self.stats,
+            escalated: self.escalated,
+            log: self.log.clone(),
+        })
+    }
+
+    fn load_state(&mut self, state: &PlatformState) -> Result<(), PlatformStateError> {
+        match state {
+            PlatformState::Simulated {
+                rng,
+                stats,
+                escalated,
+                log,
+            } => {
+                self.rng = rand::rngs::StdRng::from_state(*rng);
+                self.stats = *stats;
+                self.escalated = *escalated;
+                self.log = log.clone();
+                Ok(())
+            }
+            _ => Err(PlatformStateError::Mismatch),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -474,5 +518,48 @@ mod tests {
     fn ground_truth_exposes_the_oracle_dataset() {
         let p = platform(1.0);
         assert_eq!(p.ground_truth(), Some(&paper_completion()));
+    }
+
+    #[test]
+    fn saved_state_continues_identically_on_a_fresh_platform() {
+        // Noisy workers so the RNG stream actually matters: a platform
+        // restored mid-run must answer future rounds exactly like the
+        // original would have.
+        let mut original = platform(0.7);
+        CrowdPlatform::post_round(&mut original, &[task(4, 3, 4), task(4, 1, 2)]);
+        let state = original.save_state().expect("simulated state saves");
+
+        let mut restored = platform(0.7);
+        restored.load_state(&state).unwrap();
+        assert_eq!(restored.stats(), original.stats());
+        assert_eq!(restored.log(), original.log());
+
+        let batch = [task(4, 3, 3), task(4, 1, 1), task(4, 0, 2)];
+        for _ in 0..5 {
+            assert_eq!(
+                CrowdPlatform::post_round(&mut original, &batch),
+                CrowdPlatform::post_round(&mut restored, &batch)
+            );
+        }
+        assert_eq!(restored.stats(), original.stats());
+    }
+
+    #[test]
+    fn load_state_rejects_a_foreign_shape() {
+        use crate::state::{PlatformState, PlatformStateError};
+        let mut p = platform(1.0);
+        let foreign = PlatformState::Faulty {
+            rng: [0; 4],
+            workforce: 1.0,
+            overlay: CrowdStats::default(),
+            faults: crate::fault::FaultStats::default(),
+            inner: Box::new(PlatformState::Simulated {
+                rng: [0; 4],
+                stats: CrowdStats::default(),
+                escalated: 0,
+                log: Vec::new(),
+            }),
+        };
+        assert_eq!(p.load_state(&foreign), Err(PlatformStateError::Mismatch));
     }
 }

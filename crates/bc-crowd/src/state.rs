@@ -1,0 +1,77 @@
+//! Durable platform state for checkpoint/resume.
+//!
+//! A crowd run that is killed and restarted must not replay paid work: the
+//! platform's accounting, its answer log, and — for the simulated platforms
+//! — the exact position of its RNG streams all have to survive the restart,
+//! or the resumed run would diverge from the uninterrupted one. This module
+//! captures that mutable state as a plain value ([`PlatformState`]) that the
+//! snapshot layer can serialize. Construction-time configuration (oracle,
+//! worker pool, cost model, fault rates) deliberately stays out: the caller
+//! reconstructs the platform the same way it originally did and then
+//! restores the mutable part with [`CrowdPlatform::load_state`].
+//!
+//! [`CrowdPlatform::load_state`]: crate::CrowdPlatform::load_state
+
+use crate::fault::FaultStats;
+use crate::platform::CrowdStats;
+use crate::task::TaskAnswer;
+
+/// The mutable state of a crowd platform, as captured by
+/// [`CrowdPlatform::save_state`](crate::CrowdPlatform::save_state).
+///
+/// Decorator platforms nest the state of the platform they wrap, so a
+/// `FaultyPlatform<SimulatedPlatform>` saves (and checks on restore) the
+/// whole decorator chain.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlatformState {
+    /// State of a [`SimulatedPlatform`](crate::SimulatedPlatform).
+    Simulated {
+        /// Worker-vote RNG stream position.
+        rng: [u64; 4],
+        /// Accumulated accounting.
+        stats: CrowdStats,
+        /// Extra workers recruited through escalation.
+        escalated: usize,
+        /// Every majority-voted answer handed out so far.
+        log: Vec<TaskAnswer>,
+    },
+    /// State of a [`FaultyPlatform`](crate::FaultyPlatform) decorator.
+    Faulty {
+        /// Fault-injection RNG stream position.
+        rng: [u64; 4],
+        /// Fraction of the original workforce still active.
+        workforce: f64,
+        /// Accounting for what the inner platform never saw.
+        overlay: CrowdStats,
+        /// Injected-fault counters.
+        faults: FaultStats,
+        /// State of the wrapped platform.
+        inner: Box<PlatformState>,
+    },
+}
+
+/// Why a platform refused a [`PlatformState`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlatformStateError {
+    /// The platform has no durable-state support at all (the trait
+    /// default).
+    Unsupported,
+    /// The state was saved by a different platform shape than the one
+    /// asked to load it.
+    Mismatch,
+}
+
+impl std::fmt::Display for PlatformStateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformStateError::Unsupported => {
+                write!(f, "platform does not support saved state")
+            }
+            PlatformStateError::Mismatch => {
+                write!(f, "saved state belongs to a different platform shape")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformStateError {}

@@ -67,6 +67,37 @@ impl ConstraintStore {
         }
     }
 
+    /// Rebuilds a store from its serialized parts (see the accessors
+    /// [`ConstraintStore::attr_cards`], [`ConstraintStore::masks`] and
+    /// [`ConstraintStore::facts`]) — the checkpoint/restore path.
+    pub fn from_parts(
+        attr_cards: Vec<u16>,
+        masks: BTreeMap<VarId, u64>,
+        facts: BTreeMap<(VarId, VarId), Relation>,
+    ) -> ConstraintStore {
+        ConstraintStore {
+            attr_cards,
+            masks,
+            facts,
+        }
+    }
+
+    /// Cardinality of each attribute's domain, indexed by attribute.
+    pub fn attr_cards(&self) -> &[u16] {
+        &self.attr_cards
+    }
+
+    /// The explicitly narrowed candidate-value masks (variables not present
+    /// implicitly keep their full domain mask).
+    pub fn masks(&self) -> &BTreeMap<VarId, u64> {
+        &self.masks
+    }
+
+    /// The recorded var–var relational facts, keyed smaller variable first.
+    pub fn facts(&self) -> &BTreeMap<(VarId, VarId), Relation> {
+        &self.facts
+    }
+
     fn full_mask(&self, v: VarId) -> u64 {
         let card = self.attr_cards[v.attr.index()];
         if card == 64 {
@@ -300,5 +331,21 @@ mod tests {
         assert_eq!(below_mask(64), u64::MAX);
         assert_eq!(above_mask(63), 0);
         assert_eq!(above_mask(2), !0b111);
+    }
+
+    #[test]
+    fn from_parts_round_trips_all_knowledge() {
+        let mut s = store();
+        s.record(v(5, 1), Operand::Const(4), Relation::Lt);
+        s.record(v(5, 1), Operand::Var(v(2, 1)), Relation::Gt);
+        let rebuilt = ConstraintStore::from_parts(
+            s.attr_cards().to_vec(),
+            s.masks().clone(),
+            s.facts().clone(),
+        );
+        assert_eq!(rebuilt.masks(), s.masks());
+        assert_eq!(rebuilt.facts(), s.facts());
+        assert_eq!(rebuilt.mask(v(5, 1)), s.mask(v(5, 1)));
+        assert_eq!(rebuilt.knowledge_size(), s.knowledge_size());
     }
 }

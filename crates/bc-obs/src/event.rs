@@ -131,6 +131,9 @@ pub enum Event {
         branches: u64,
         /// Component probabilities served from the solver's cache.
         cache_hits: u64,
+        /// Conditions the configured solver failed on and a fresh ADPLL
+        /// re-solved — silent degradation made visible.
+        fallbacks: u64,
         /// Batch wall-clock time.
         nanos: u128,
     },
@@ -178,6 +181,24 @@ pub enum Event {
         /// out — abandoned at finalization, on top of per-round expiries.
         tasks_abandoned: usize,
     },
+    /// A durable checkpoint of the full run state was written.
+    CheckpointWritten {
+        /// 1-based round index the checkpoint covers (0 before any round).
+        round: usize,
+        /// Serialized size of the snapshot document.
+        bytes: usize,
+        /// Serialization wall-clock time.
+        nanos: u128,
+    },
+    /// A run was restored from a checkpoint and is about to continue.
+    Resumed {
+        /// 1-based round index the run continues after.
+        round: usize,
+        /// Budget remaining at the checkpoint.
+        budget_left: usize,
+        /// Open c-table expressions at the checkpoint.
+        open_exprs: usize,
+    },
     /// The run finished; totals mirror the final `RunReport`.
     RunFinished {
         /// Platform-visible rounds consumed.
@@ -210,6 +231,8 @@ impl Event {
             Event::RoundFinished { .. } => "RoundFinished",
             Event::SpanFinished { .. } => "SpanFinished",
             Event::Degraded { .. } => "Degraded",
+            Event::CheckpointWritten { .. } => "CheckpointWritten",
+            Event::Resumed { .. } => "Resumed",
             Event::RunFinished { .. } => "RunFinished",
         }
     }
@@ -225,8 +248,12 @@ impl Event {
             | Event::Propagated { nanos, .. }
             | Event::RoundFinished { nanos, .. }
             | Event::SpanFinished { nanos, .. }
+            | Event::CheckpointWritten { nanos, .. }
             | Event::RunFinished { nanos, .. } => *nanos = 0,
-            Event::RunStarted { .. } | Event::RoundStarted { .. } | Event::Degraded { .. } => {}
+            Event::RunStarted { .. }
+            | Event::RoundStarted { .. }
+            | Event::Degraded { .. }
+            | Event::Resumed { .. } => {}
         }
         e
     }
@@ -287,6 +314,7 @@ impl Event {
                 solver_calls,
                 branches,
                 cache_hits,
+                fallbacks,
                 nanos,
             } => {
                 s.push_str(&format!(", \"phase\": \"{}\"", phase.name()));
@@ -294,6 +322,7 @@ impl Event {
                 field_u(&mut s, "solver_calls", *solver_calls as u128);
                 field_u(&mut s, "branches", *branches as u128);
                 field_u(&mut s, "cache_hits", *cache_hits as u128);
+                field_u(&mut s, "fallbacks", *fallbacks as u128);
                 field_u(&mut s, "nanos", *nanos);
             }
             Event::Propagated {
@@ -330,6 +359,24 @@ impl Event {
             }
             Event::Degraded { tasks_abandoned } => {
                 field_u(&mut s, "tasks_abandoned", *tasks_abandoned as u128);
+            }
+            Event::CheckpointWritten {
+                round,
+                bytes,
+                nanos,
+            } => {
+                field_u(&mut s, "round", *round as u128);
+                field_u(&mut s, "bytes", *bytes as u128);
+                field_u(&mut s, "nanos", *nanos);
+            }
+            Event::Resumed {
+                round,
+                budget_left,
+                open_exprs,
+            } => {
+                field_u(&mut s, "round", *round as u128);
+                field_u(&mut s, "budget_left", *budget_left as u128);
+                field_u(&mut s, "open_exprs", *open_exprs as u128);
             }
             Event::RunFinished {
                 rounds,
@@ -393,6 +440,7 @@ impl Event {
                 solver_calls: get_u64("solver_calls")?,
                 branches: get_u64("branches")?,
                 cache_hits: get_u64("cache_hits")?,
+                fallbacks: get_u64("fallbacks")?,
                 nanos: get_n("nanos")?,
             },
             "Propagated" => Event::Propagated {
@@ -416,6 +464,16 @@ impl Event {
             },
             "Degraded" => Event::Degraded {
                 tasks_abandoned: get_u("tasks_abandoned")?,
+            },
+            "CheckpointWritten" => Event::CheckpointWritten {
+                round: get_u("round")?,
+                bytes: get_u("bytes")?,
+                nanos: get_n("nanos")?,
+            },
+            "Resumed" => Event::Resumed {
+                round: get_u("round")?,
+                budget_left: get_u("budget_left")?,
+                open_exprs: get_u("open_exprs")?,
             },
             "RunFinished" => Event::RunFinished {
                 rounds: get_u("rounds")?,
@@ -536,6 +594,7 @@ mod tests {
                 solver_calls: 3,
                 branches: 17,
                 cache_hits: 2,
+                fallbacks: 1,
                 nanos: 777,
             },
             Event::Propagated {
@@ -558,6 +617,16 @@ mod tests {
                 nanos: 11,
             },
             Event::Degraded { tasks_abandoned: 1 },
+            Event::CheckpointWritten {
+                round: 2,
+                bytes: 20_480,
+                nanos: 321,
+            },
+            Event::Resumed {
+                round: 2,
+                budget_left: 4,
+                open_exprs: 7,
+            },
             Event::RunFinished {
                 rounds: 3,
                 tasks_posted: 6,

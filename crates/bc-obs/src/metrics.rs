@@ -123,6 +123,11 @@ pub struct Counters {
     pub conditions_decided: u64,
     /// Tasks abandoned at finalization (from `Degraded`).
     pub tasks_abandoned: u64,
+    /// Conditions re-solved by the ADPLL fallback after the configured
+    /// solver errored.
+    pub solver_fallbacks: u64,
+    /// Durable checkpoints written.
+    pub checkpoints_written: u64,
 }
 
 /// An [`Observer`] that aggregates the event stream in memory.
@@ -185,8 +190,12 @@ impl MetricsRecorder {
         );
         let _ = writeln!(
             s,
-            "probability evals {}  solver calls {} (branches {}, cache hits {})",
-            c.probability_evals, c.solver_calls, c.solver_branches, c.solver_cache_hits
+            "probability evals {}  solver calls {} (branches {}, cache hits {}, fallbacks {})",
+            c.probability_evals,
+            c.solver_calls,
+            c.solver_branches,
+            c.solver_cache_hits,
+            c.solver_fallbacks
         );
         let _ = writeln!(
             s,
@@ -215,12 +224,14 @@ impl Observer for MetricsRecorder {
                 solver_calls,
                 branches,
                 cache_hits,
+                fallbacks,
                 ..
             } => {
                 self.counters.probability_evals += *objects as u64;
                 self.counters.solver_calls += solver_calls;
                 self.counters.solver_branches += branches;
                 self.counters.solver_cache_hits += cache_hits;
+                self.counters.solver_fallbacks += fallbacks;
             }
             Event::Propagated {
                 answers,
@@ -250,6 +261,9 @@ impl Observer for MetricsRecorder {
             }
             Event::Degraded { tasks_abandoned } => {
                 self.counters.tasks_abandoned += *tasks_abandoned as u64;
+            }
+            Event::CheckpointWritten { .. } => {
+                self.counters.checkpoints_written += 1;
             }
             _ => {}
         }
@@ -286,6 +300,7 @@ mod tests {
             solver_calls: 4,
             branches: 10,
             cache_hits: 3,
+            fallbacks: 1,
             nanos: 100,
         });
         rec.event(&Event::Propagated {
@@ -316,6 +331,7 @@ mod tests {
         assert_eq!(c.posted, 2);
         assert_eq!(c.probability_evals, 4);
         assert_eq!(c.solver_branches, 10);
+        assert_eq!(c.solver_fallbacks, 1);
         assert_eq!(c.answers_propagated, 2);
         assert_eq!(rec.phase_nanos(RunPhase::Select), 150);
         assert_eq!(rec.phase_nanos(RunPhase::Post), 0);

@@ -1,0 +1,341 @@
+//! The framed snapshot document: header, named sections, checksummed
+//! footer.
+
+use crate::error::SnapshotError;
+use crate::value::Value;
+use std::io::{Read, Write};
+
+/// The format name every document's header must carry.
+pub const FORMAT_NAME: &str = "bc-snapshot";
+
+/// The newest document version this crate writes and understands. Older
+/// readers refuse newer documents; the version only moves when the layout
+/// itself changes (section shapes are the domain layer's business).
+pub const FORMAT_VERSION: u32 = 1;
+
+/// FNV-1a 64-bit, the checksum of the footer (and the fingerprint hash the
+/// domain layer uses). Small, dependency-free, and plenty for detecting
+/// torn writes — snapshots are not an integrity boundary against attackers.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn header_value(fingerprint: &str) -> Value {
+    Value::obj(vec![
+        ("format", Value::Str(FORMAT_NAME.into())),
+        ("version", Value::Int(FORMAT_VERSION as i128)),
+        ("fingerprint", Value::Str(fingerprint.into())),
+    ])
+}
+
+fn footer_value(sections: usize, checksum: u64) -> Value {
+    Value::obj(vec![
+        ("sections", Value::Int(sections as i128)),
+        ("checksum", Value::Str(format!("{checksum:016x}"))),
+    ])
+}
+
+/// Streams one snapshot document to a writer, hashing as it goes.
+///
+/// Mirrors `bc-obs`'s `JsonLinesSink`: one JSON object per line, written
+/// eagerly. The footer — and with it a parseable document — only exists
+/// once [`SnapshotWriter::finish`] runs; a crash mid-write therefore leaves
+/// a document that [`Snapshot::parse`] rejects instead of half-resumes.
+pub struct SnapshotWriter<W: Write> {
+    inner: W,
+    hash: u64,
+    bytes: usize,
+    sections: usize,
+}
+
+impl<W: Write> SnapshotWriter<W> {
+    /// Starts a document by writing its header line.
+    pub fn new(inner: W, fingerprint: &str) -> Result<SnapshotWriter<W>, SnapshotError> {
+        let mut w = SnapshotWriter {
+            inner,
+            hash: 0xcbf2_9ce4_8422_2325,
+            bytes: 0,
+            sections: 0,
+        };
+        w.write_line(&header_value(fingerprint).to_json())?;
+        Ok(w)
+    }
+
+    fn write_line(&mut self, line: &str) -> Result<(), SnapshotError> {
+        self.inner.write_all(line.as_bytes())?;
+        self.inner.write_all(b"\n")?;
+        for &b in line.as_bytes().iter().chain(b"\n") {
+            self.hash ^= b as u64;
+            self.hash = self.hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.bytes += line.len() + 1;
+        Ok(())
+    }
+
+    /// Appends one named section.
+    pub fn section(&mut self, name: &str, data: Value) -> Result<(), SnapshotError> {
+        let line = Value::obj(vec![("section", Value::Str(name.into())), ("data", data)]);
+        self.write_line(&line.to_json())?;
+        self.sections += 1;
+        Ok(())
+    }
+
+    /// Writes the footer, flushes, and returns the total bytes written.
+    pub fn finish(mut self) -> Result<usize, SnapshotError> {
+        let footer = footer_value(self.sections, self.hash).to_json();
+        self.inner.write_all(footer.as_bytes())?;
+        self.inner.write_all(b"\n")?;
+        self.inner.flush()?;
+        Ok(self.bytes + footer.len() + 1)
+    }
+}
+
+/// A parsed snapshot document: the header fingerprint plus its sections,
+/// in document order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    fingerprint: String,
+    sections: Vec<(String, Value)>,
+}
+
+impl Snapshot {
+    /// Builds a document in memory (the write-side counterpart used by
+    /// re-serialization tests and by [`Snapshot::write_to`]).
+    pub fn new(fingerprint: String, sections: Vec<(String, Value)>) -> Snapshot {
+        Snapshot {
+            fingerprint,
+            sections,
+        }
+    }
+
+    /// The header's run fingerprint.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// All sections, in document order.
+    pub fn sections(&self) -> &[(String, Value)] {
+        &self.sections
+    }
+
+    /// The named section's payload.
+    pub fn section(&self, name: &str) -> Result<&Value, SnapshotError> {
+        self.sections
+            .iter()
+            .find_map(|(k, v)| (k == name).then_some(v))
+            .ok_or_else(|| SnapshotError::MissingSection(name.to_string()))
+    }
+
+    /// Reads and validates one complete document: header, every section,
+    /// and a footer whose section count and checksum match the bytes read.
+    pub fn parse(mut reader: impl Read) -> Result<Snapshot, SnapshotError> {
+        let mut text = String::new();
+        reader.read_to_string(&mut text)?;
+
+        let mut fingerprint: Option<String> = None;
+        let mut sections: Vec<(String, Value)> = Vec::new();
+        let mut footer: Option<(usize, String, u64)> = None; // declared count, checksum, hash-so-far
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+
+        for (idx, line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let malformed = |reason: String| SnapshotError::Malformed {
+                line: line_no,
+                reason,
+            };
+            if footer.is_some() {
+                return Err(malformed("content after the footer".into()));
+            }
+            let value = Value::parse(line).map_err(malformed)?;
+            if line_no == 1 {
+                let format = value
+                    .get("format")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| malformed("header lacks a format name".into()))?;
+                if format != FORMAT_NAME {
+                    return Err(SnapshotError::UnsupportedFormat(format.to_string()));
+                }
+                let version = value
+                    .get("version")
+                    .and_then(Value::as_usize)
+                    .ok_or_else(|| malformed("header lacks a version".into()))?;
+                if version as u32 > FORMAT_VERSION {
+                    return Err(SnapshotError::UnsupportedVersion(version as u32));
+                }
+                let fp = value
+                    .get("fingerprint")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| malformed("header lacks a fingerprint".into()))?;
+                fingerprint = Some(fp.to_string());
+            } else if let Some(name) = value.get("section").and_then(Value::as_str) {
+                let data = value
+                    .get("data")
+                    .ok_or_else(|| malformed("section line lacks data".into()))?;
+                sections.push((name.to_string(), data.clone()));
+            } else if let Some(declared) = value.get("sections").and_then(Value::as_usize) {
+                let checksum = value
+                    .get("checksum")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| malformed("footer lacks a checksum".into()))?;
+                footer = Some((declared, checksum.to_string(), hash));
+                continue; // the footer itself is not hashed
+            } else {
+                return Err(malformed("neither section nor footer".into()));
+            }
+            for &b in line.as_bytes().iter().chain(b"\n") {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+
+        let fingerprint = fingerprint.ok_or(SnapshotError::Malformed {
+            line: 1,
+            reason: "empty document".into(),
+        })?;
+        let (declared, checksum, hashed) = footer.ok_or(SnapshotError::Malformed {
+            line: text.lines().count().max(1),
+            reason: "no footer — torn write?".into(),
+        })?;
+        if declared != sections.len() {
+            return Err(SnapshotError::SectionCountMismatch {
+                declared,
+                actual: sections.len(),
+            });
+        }
+        let actual = format!("{hashed:016x}");
+        if checksum != actual {
+            return Err(SnapshotError::ChecksumMismatch {
+                declared: checksum,
+                actual,
+            });
+        }
+        Ok(Snapshot {
+            fingerprint,
+            sections,
+        })
+    }
+
+    /// Re-serializes the document. For a document produced by
+    /// [`SnapshotWriter`], the output is byte-identical to the original
+    /// (pinned by test) — parsing is lossless and serialization canonical.
+    pub fn write_to(&self, out: impl Write) -> Result<usize, SnapshotError> {
+        let mut w = SnapshotWriter::new(out, &self.fingerprint)?;
+        for (name, data) in &self.sections {
+            w.section(name, data.clone())?;
+        }
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bytes() -> Vec<u8> {
+        let mut buf = Vec::new();
+        let mut w = SnapshotWriter::new(&mut buf, "00deadbeef00cafe").unwrap();
+        w.section(
+            "config",
+            Value::obj(vec![
+                ("budget", Value::Int(20)),
+                ("alpha", Value::Float(0.01)),
+            ]),
+        )
+        .unwrap();
+        w.section(
+            "pending",
+            Value::List(vec![Value::obj(vec![("attempts", Value::Int(1))])]),
+        )
+        .unwrap();
+        w.finish().unwrap();
+        buf
+    }
+
+    #[test]
+    fn write_parse_round_trip() {
+        let bytes = sample_bytes();
+        let snap = Snapshot::parse(&bytes[..]).unwrap();
+        assert_eq!(snap.fingerprint(), "00deadbeef00cafe");
+        assert_eq!(snap.sections().len(), 2);
+        assert_eq!(
+            snap.section("config")
+                .unwrap()
+                .get("budget")
+                .unwrap()
+                .as_usize(),
+            Some(20)
+        );
+        assert!(matches!(
+            snap.section("nope"),
+            Err(SnapshotError::MissingSection(_))
+        ));
+    }
+
+    #[test]
+    fn reserialization_is_byte_identical() {
+        let bytes = sample_bytes();
+        let snap = Snapshot::parse(&bytes[..]).unwrap();
+        let mut again = Vec::new();
+        let n = snap.write_to(&mut again).unwrap();
+        assert_eq!(n, again.len());
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn torn_writes_are_rejected() {
+        let bytes = sample_bytes();
+        // Missing footer (the crash-mid-write shape).
+        let cut = bytes.len() - 2;
+        assert!(matches!(
+            Snapshot::parse(&bytes[..cut]),
+            Err(SnapshotError::Malformed { .. })
+        ));
+        // A flipped byte inside a section breaks the checksum (if it even
+        // parses).
+        let mut corrupt = bytes.clone();
+        let i = corrupt.iter().position(|&b| b == b'2').unwrap();
+        corrupt[i] = b'3';
+        assert!(Snapshot::parse(&corrupt[..]).is_err());
+    }
+
+    #[test]
+    fn foreign_and_future_documents_are_refused() {
+        let other = b"{\"format\":\"other\",\"version\":1,\"fingerprint\":\"x\"}\n";
+        assert!(matches!(
+            Snapshot::parse(&other[..]),
+            Err(SnapshotError::UnsupportedFormat(_))
+        ));
+        let future = format!(
+            "{{\"format\":\"bc-snapshot\",\"version\":{},\"fingerprint\":\"x\"}}\n",
+            FORMAT_VERSION + 1
+        );
+        assert!(matches!(
+            Snapshot::parse(future.as_bytes()),
+            Err(SnapshotError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn section_count_must_match() {
+        let bytes = sample_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        // Drop one section line but keep the (now stale) footer.
+        let lines: Vec<&str> = text.lines().collect();
+        let tampered = format!("{}\n{}\n{}\n", lines[0], lines[2], lines[3]);
+        // Either the checksum or the count catches it — both are wrong.
+        assert!(Snapshot::parse(tampered.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,489 @@
+//! The generic value tree snapshots are built from, with a canonical JSON
+//! writer and a matching parser.
+//!
+//! Two departures from a stock JSON model keep round-trips exact:
+//!
+//! * **Integers and floats are distinct variants.** Counters (budgets,
+//!   RNG words, masks) must not detour through `f64` and lose precision;
+//!   a number token is an [`Value::Int`] unless it contains `.`, `e`, or
+//!   `E`.
+//! * **Floats print in shortest round-trip form** (Rust's `{:?}`), so the
+//!   exact bit pattern survives `write → parse → write` and the output is
+//!   byte-stable. Non-finite floats print as `NaN`/`inf`/`-inf` and parse
+//!   back — snapshots must be total even for degenerate state.
+
+/// A dynamically typed snapshot value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Absent/none.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Integer, wide enough for `u64` counters and RNG words.
+    Int(i128),
+    /// IEEE-754 double, round-tripped exactly.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered sequence.
+    List(Vec<Value>),
+    /// Ordered key→value map (insertion order is preserved and is part of
+    /// the canonical byte representation).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A map from borrowed keys — the ergonomic constructor for encoders.
+    pub fn obj(entries: Vec<(&str, Value)>) -> Value {
+        Value::Map(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is one.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The integer as a `u64`, if this is one and it fits.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_int().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// The integer as a `usize`, if this is one and it fits.
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_int().and_then(|i| usize::try_from(i).ok())
+    }
+
+    /// The integer as a `u16`, if this is one and it fits.
+    pub fn as_u16(&self) -> Option<u16> {
+        self.as_int().and_then(|i| u16::try_from(i).ok())
+    }
+
+    /// The float, if this is one. Integers do not coerce — the two are
+    /// distinct on the wire.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a list.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(xs) => Some(xs),
+            _ => None,
+        }
+    }
+
+    /// The entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks `key` up in a map (first match; canonical documents never
+    /// duplicate keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map()?
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// Serializes to compact canonical JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Int(i) => {
+                out.push_str(&i.to_string());
+            }
+            Value::Float(f) => {
+                out.push_str(&format!("{f:?}"));
+            }
+            Value::Str(s) => escape_into(s, out),
+            Value::List(xs) => {
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    x.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Map(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses one canonical JSON value (the payload of a document line).
+    /// Returns a human-readable reason on failure; the document layer
+    /// attaches the line number.
+    pub fn parse(input: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.map(),
+            Some(b'[') => self.list(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b'N') if self.eat_keyword("NaN") => Ok(Value::Float(f64::NAN)),
+            Some(b'i') if self.eat_keyword("inf") => Ok(Value::Float(f64::INFINITY)),
+            Some(b'-') if self.bytes[self.pos..].starts_with(b"-inf") => {
+                self.pos += 4;
+                Ok(Value::Float(f64::NEG_INFINITY))
+            }
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let token =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number tokens are ascii");
+        if is_float {
+            token
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| format!("bad float {token:?}: {e}"))
+        } else {
+            token
+                .parse::<i128>()
+                .map(Value::Int)
+                .map_err(|e| format!("bad integer {token:?}: {e}"))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                .map_err(|_| "invalid utf-8 in string".to_string())?;
+            let mut chars = rest.char_indices();
+            match chars.next() {
+                None => return Err("unterminated string".into()),
+                Some((_, '"')) => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some((_, '\\')) => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            out.push(
+                                char::from_u32(code).ok_or("\\u escape is not a scalar value")?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err("unknown escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some((i, c)) => {
+                    out.push(c);
+                    self.pos += i + c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn list(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut xs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::List(xs));
+        }
+        loop {
+            self.skip_ws();
+            xs.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::List(xs));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn map(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Value) -> Value {
+        let json = v.to_json();
+        let back = Value::parse(&json).unwrap_or_else(|e| panic!("unparseable {json}: {e}"));
+        assert_eq!(back.to_json(), json, "re-serialization must be identical");
+        back
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(-7),
+            Value::Int(u64::MAX as i128),
+            Value::Float(0.1 + 0.2),
+            Value::Float(-1.5e-300),
+            Value::Str("hello \"world\"\n\\ tab\t".into()),
+            Value::Str("unicode: αβγ 🦀".into()),
+        ] {
+            assert_eq!(round_trip(&v), v);
+        }
+    }
+
+    #[test]
+    fn floats_survive_bit_exactly() {
+        let exact = 1.0 / 3.0;
+        match round_trip(&Value::Float(exact)) {
+            Value::Float(f) => assert_eq!(f.to_bits(), exact.to_bits()),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_stay_representable() {
+        for f in [f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(round_trip(&Value::Float(f)), Value::Float(f));
+        }
+        // NaN != NaN, so compare the serialized form instead.
+        let json = Value::Float(f64::NAN).to_json();
+        assert_eq!(json, "NaN");
+        assert_eq!(Value::parse(&json).unwrap().to_json(), "NaN");
+    }
+
+    #[test]
+    fn integers_do_not_detour_through_floats() {
+        // 2^63 + 1 is not representable as f64; the Int variant must keep
+        // every bit (RNG state words take the full u64 range).
+        let big = (1i128 << 63) + 1;
+        assert_eq!(round_trip(&Value::Int(big)), Value::Int(big));
+        assert_eq!(
+            Value::parse("9223372036854775809").unwrap().as_int(),
+            Some(big)
+        );
+    }
+
+    #[test]
+    fn nesting_and_order_are_preserved() {
+        let v = Value::obj(vec![
+            ("z", Value::List(vec![Value::Int(1), Value::Null])),
+            ("a", Value::obj(vec![("inner", Value::Float(2.5))])),
+            ("empty_list", Value::List(vec![])),
+            ("empty_map", Value::Map(vec![])),
+        ]);
+        let back = round_trip(&v);
+        assert_eq!(back, v);
+        // Insertion order, not sorted order, is canonical.
+        assert!(back.to_json().starts_with("{\"z\":"));
+        assert_eq!(
+            back.get("a").and_then(|a| a.get("inner")),
+            Some(&Value::Float(2.5))
+        );
+    }
+
+    #[test]
+    fn accessors_are_typed() {
+        let v = Value::obj(vec![("n", Value::Int(42)), ("f", Value::Float(1.0))]);
+        assert_eq!(v.get("n").unwrap().as_usize(), Some(42));
+        assert_eq!(v.get("n").unwrap().as_u16(), Some(42));
+        assert_eq!(v.get("n").unwrap().as_f64(), None, "no int→float coercion");
+        assert_eq!(v.get("f").unwrap().as_int(), None);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Int(-1).as_u64(), None);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "01a",
+            "1.2.3",
+            "[1] trailing",
+            "{\"k\":\"\\q\"}",
+        ] {
+            assert!(Value::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+}

@@ -5,7 +5,7 @@ use crate::strategy::TaskStrategy;
 use bc_bayes::ModelConfig;
 use bc_crowd::RetryPolicy;
 use bc_ctable::{CTableConfig, DominatorStrategy};
-use bc_solver::{AdpllSolver, MonteCarloSolver, NaiveSolver, Solver};
+use bc_solver::{AdpllSolver, BranchHeuristic, MonteCarloSolver, NaiveSolver, Solver};
 use std::fmt;
 
 /// Why a configuration was rejected by [`BayesCrowdConfig::validate`] (and
@@ -54,10 +54,16 @@ pub enum SolverKind {
 }
 
 impl SolverKind {
-    /// Instantiates the solver.
-    pub fn build(self) -> Box<dyn Solver> {
+    /// Instantiates the solver with the run's solver configuration. Only
+    /// ADPLL has tunable internals today; the other kinds accept and ignore
+    /// the knobs so every call site builds through the same path (and no
+    /// path can silently drop the configuration, as the parallel batch code
+    /// once did).
+    pub fn build(self, heuristic: BranchHeuristic, caching: bool) -> Box<dyn Solver> {
         match self {
-            SolverKind::Adpll => Box::new(AdpllSolver::new()),
+            SolverKind::Adpll => {
+                Box::new(AdpllSolver::with_heuristic(heuristic).with_caching(caching))
+            }
             SolverKind::Naive => Box::new(NaiveSolver::new()),
             SolverKind::MonteCarlo => Box::new(MonteCarloSolver::default()),
         }
@@ -82,6 +88,11 @@ pub struct BayesCrowdConfig {
     pub ranking: ObjectRanking,
     /// Probability solver.
     pub solver: SolverKind,
+    /// ADPLL branching heuristic (ignored by the other solvers).
+    pub branch_heuristic: BranchHeuristic,
+    /// Whether the ADPLL solver memoizes sub-conditions (ignored by the
+    /// other solvers).
+    pub solver_caching: bool,
     /// Dominator-set derivation (fast index vs pairwise baseline).
     pub dominators: DominatorStrategy,
     /// Bayesian-network modeling configuration (set
@@ -114,6 +125,8 @@ impl Default for BayesCrowdConfig {
             strategy: TaskStrategy::Hhs { m: 50 },
             ranking: ObjectRanking::Entropy,
             solver: SolverKind::Adpll,
+            branch_heuristic: BranchHeuristic::default(),
+            solver_caching: true,
             dominators: DominatorStrategy::FastIndex,
             model: ModelConfig::default(),
             conflict_free: true,
@@ -151,6 +164,15 @@ impl BayesCrowdConfig {
         } else {
             self.budget.div_ceil(self.latency)
         }
+    }
+
+    /// Builds the configured solver — [`SolverKind::build`] fed with this
+    /// config's heuristic and caching knobs. Every solver the framework
+    /// instantiates (including per-thread and fallback solvers) goes
+    /// through here so the knobs are never silently dropped.
+    pub fn build_solver(&self) -> Box<dyn Solver> {
+        self.solver
+            .build(self.branch_heuristic, self.solver_caching)
     }
 
     /// The c-table construction sub-config.
@@ -251,6 +273,18 @@ impl BayesCrowdConfigBuilder {
         self
     }
 
+    /// ADPLL branching heuristic (ignored by the other solvers).
+    pub fn branch_heuristic(mut self, heuristic: BranchHeuristic) -> Self {
+        self.config.branch_heuristic = heuristic;
+        self
+    }
+
+    /// Whether the ADPLL solver memoizes sub-conditions.
+    pub fn solver_caching(mut self, caching: bool) -> Self {
+        self.config.solver_caching = caching;
+        self
+    }
+
     /// Dominator-set derivation (fast index vs pairwise baseline).
     pub fn dominators(mut self, dominators: DominatorStrategy) -> Self {
         self.config.dominators = dominators;
@@ -347,6 +381,8 @@ mod tests {
             .strategy(TaskStrategy::Hhs { m: 2 })
             .ranking(ObjectRanking::Random { seed: 4 })
             .solver(SolverKind::Naive)
+            .branch_heuristic(BranchHeuristic::First)
+            .solver_caching(false)
             .dominators(DominatorStrategy::Baseline)
             .model(ModelConfig {
                 uniform_prior: true,
@@ -364,6 +400,8 @@ mod tests {
         assert_eq!(config.strategy, TaskStrategy::Hhs { m: 2 });
         assert_eq!(config.ranking, ObjectRanking::Random { seed: 4 });
         assert_eq!(config.solver, SolverKind::Naive);
+        assert_eq!(config.branch_heuristic, BranchHeuristic::First);
+        assert!(!config.solver_caching);
         assert_eq!(config.dominators, DominatorStrategy::Baseline);
         assert!(config.model.uniform_prior);
         assert!(!config.conflict_free);
@@ -433,8 +471,22 @@ mod tests {
 
     #[test]
     fn solver_kinds_build() {
-        assert_eq!(SolverKind::Adpll.build().name(), "ADPLL");
-        assert_eq!(SolverKind::Naive.build().name(), "Naive");
-        assert_eq!(SolverKind::MonteCarlo.build().name(), "MonteCarlo");
+        let (h, c) = (BranchHeuristic::default(), true);
+        assert_eq!(SolverKind::Adpll.build(h, c).name(), "ADPLL");
+        assert_eq!(SolverKind::Naive.build(h, c).name(), "Naive");
+        assert_eq!(SolverKind::MonteCarlo.build(h, c).name(), "MonteCarlo");
+    }
+
+    #[test]
+    fn build_solver_uses_the_configured_knobs() {
+        // The knobs reach the solver regardless of kind; ADPLL is the one
+        // that actually consumes them, so it suffices to check the path
+        // compiles and builds the right kind.
+        let config = BayesCrowdConfig::builder()
+            .branch_heuristic(BranchHeuristic::First)
+            .solver_caching(false)
+            .build()
+            .expect("valid config");
+        assert_eq!(config.build_solver().name(), "ADPLL");
     }
 }

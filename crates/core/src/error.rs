@@ -2,6 +2,7 @@
 
 use crate::config::ConfigError;
 use crate::report::RunReport;
+use bc_snapshot::SnapshotError;
 use bc_solver::SolverError;
 use std::fmt;
 
@@ -23,7 +24,14 @@ pub enum RunError {
         /// The report of the degraded, crowd-less run.
         report: Box<RunReport>,
     },
+    /// Writing or restoring a checkpoint failed (I/O, corruption, or a
+    /// snapshot that does not belong to this run).
+    Snapshot(SnapshotErrorShared),
 }
+
+/// [`SnapshotError`] wrapped for `RunError`, which is `Clone` while
+/// `std::io::Error` is not — shared ownership keeps the full error chain.
+pub type SnapshotErrorShared = std::sync::Arc<SnapshotError>;
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -36,6 +44,7 @@ impl fmt::Display for RunError {
                 "crowd platform answered none of the {} posted tasks ({} expressions undecided)",
                 report.crowd.tasks_posted, report.open_exprs_left
             ),
+            RunError::Snapshot(e) => write!(f, "checkpoint failed: {e}"),
         }
     }
 }
@@ -45,6 +54,7 @@ impl std::error::Error for RunError {
         match self {
             RunError::Config(e) => Some(e),
             RunError::Solver(e) => Some(e),
+            RunError::Snapshot(e) => Some(e.as_ref()),
             _ => None,
         }
     }
@@ -59,5 +69,11 @@ impl From<ConfigError> for RunError {
 impl From<SolverError> for RunError {
     fn from(e: SolverError) -> RunError {
         RunError::Solver(e)
+    }
+}
+
+impl From<SnapshotError> for RunError {
+    fn from(e: SnapshotError) -> RunError {
+        RunError::Snapshot(std::sync::Arc::new(e))
     }
 }

@@ -1,43 +1,22 @@
 //! The BayesCrowd framework (Algorithm 1 + Algorithm 4).
+//!
+//! [`BayesCrowd::run`] and [`BayesCrowd::try_run`] are thin loops over the
+//! resumable [`Session`] API (see [`crate::session`]): they start a
+//! session, [`step`](Session::step) it until the crowdsourcing loop
+//! terminates, and [`finalize`](Session::finalize) it into a report.
+//! Callers that want to checkpoint mid-run use [`BayesCrowd::session`]
+//! directly.
 
-use crate::config::{BayesCrowdConfig, SolverKind};
+use crate::config::BayesCrowdConfig;
 use crate::error::RunError;
 use crate::report::RunReport;
-use crate::selection::{assemble_round, rank_objects};
-use bc_bayes::{MissingValueModel, Pmf};
-use bc_crowd::{CrowdPlatform, Task, TaskAnswer, TaskOutcome};
-use bc_ctable::{build_ctable, build_ctable_with_stats, CTable, CmpOp, ConstraintStore, Relation};
-use bc_data::{Accuracy, Dataset, ObjectId, VarId};
-use bc_obs::{Event, NoopObserver, Observer, RunPhase, Span};
-use bc_solver::{AdpllSolver, SolveStats, Solver, SolverError, VarDists};
-use std::collections::{BTreeMap, BTreeSet};
-use std::time::Instant;
-
-/// Per-object probabilities plus the solver effort behind them: aggregated
-/// stats and the number of solver calls (ADPLL fallbacks included).
-type SolvedBatch = Result<(Vec<(ObjectId, f64)>, SolveStats, u64), SolverError>;
-
-/// A failed task waiting in the retry queue.
-#[derive(Clone, Copy, Debug)]
-struct PendingTask {
-    task: Task,
-    /// Posting attempts so far (≥ 1; the task failed each of them).
-    attempts: usize,
-    /// First round (1-based) the task may be re-posted in, per the retry
-    /// policy's backoff.
-    eligible_round: usize,
-}
-
-/// Whether a failed task is still worth re-posting: propagation may have
-/// decided everything its variables touch, in which case the answer would
-/// be useless.
-fn task_still_open(ctable: &CTable, task: &Task) -> bool {
-    let vars: BTreeSet<VarId> = task.vars().collect();
-    ctable
-        .open_objects()
-        .iter()
-        .any(|&o| !ctable.condition(o).vars().is_disjoint(&vars))
-}
+use crate::session::Session;
+use bc_bayes::MissingValueModel;
+use bc_crowd::CrowdPlatform;
+use bc_ctable::{build_ctable, CTable, CmpOp, Relation};
+use bc_data::{Dataset, ObjectId};
+use bc_obs::Observer;
+use bc_solver::VarDists;
 
 /// The crowd-assisted skyline query engine.
 #[derive(Clone, Debug)]
@@ -71,15 +50,14 @@ impl BayesCrowd {
     /// what was given up.
     ///
     /// This is the infallible convenience wrapper: it observes nothing
-    /// (every event goes to a [`NoopObserver`]), skips configuration
+    /// (every event goes to a [`bc_obs::NoopObserver`]), skips configuration
     /// validation (degenerate configs like `budget: 0` run to a trivial
     /// report), recovers the degraded report from a
     /// [`RunError::PlatformExhausted`], and **panics** on the errors
     /// [`BayesCrowd::try_run`] would return (empty dataset, unrecoverable
     /// solver failure). Use `try_run` when those must be handled.
     pub fn run(&self, data: &Dataset, platform: &mut dyn CrowdPlatform) -> RunReport {
-        let mut noop = NoopObserver;
-        match self.run_inner(data, platform, &mut noop) {
+        match self.run_loop(data, platform, None) {
             Ok(report) => report,
             Err(RunError::PlatformExhausted { report }) => *report,
             Err(e) => panic!("BayesCrowd::run failed: {e} (use try_run to handle errors)"),
@@ -95,8 +73,8 @@ impl BayesCrowd {
     /// * a platform that answered nothing at all surfaces as
     ///   [`RunError::PlatformExhausted`] (with the degraded report
     ///   attached), and
-    /// * every phase of the run streams structured [`Event`]s to
-    ///   `observer` — pass `&mut NoopObserver` for none, a
+    /// * every phase of the run streams structured [`Event`](bc_obs::Event)s
+    ///   to `observer` — pass `&mut NoopObserver` for none, a
     ///   [`bc_obs::JsonLinesSink`] for a trace file, or a
     ///   [`bc_obs::MetricsRecorder`] for in-memory aggregation.
     pub fn try_run(
@@ -106,484 +84,49 @@ impl BayesCrowd {
         observer: &mut dyn Observer,
     ) -> Result<RunReport, RunError> {
         self.config.validate()?;
-        self.run_inner(data, platform, observer)
+        self.run_loop(data, platform, Some(observer))
     }
 
-    fn run_inner(
+    /// An unobserved resumable session over `data` and `platform`: the
+    /// modeling phase runs here, the crowdsourcing rounds are driven by the
+    /// caller via [`Session::step`] with a [`Session::checkpoint`] wherever
+    /// durability is wanted. The configuration is validated first.
+    pub fn session<'a>(
         &self,
         data: &Dataset,
-        platform: &mut dyn CrowdPlatform,
-        observer: &mut dyn Observer,
+        platform: &'a mut dyn CrowdPlatform,
+    ) -> Result<Session<'a>, RunError> {
+        self.config.validate()?;
+        Session::start(self.config.clone(), data, platform, None)
+    }
+
+    /// [`BayesCrowd::session`] with an observer: the session streams the
+    /// same structured events a [`BayesCrowd::try_run`] would.
+    pub fn session_observed<'a>(
+        &self,
+        data: &Dataset,
+        platform: &'a mut dyn CrowdPlatform,
+        observer: &'a mut dyn Observer,
+    ) -> Result<Session<'a>, RunError> {
+        self.config.validate()?;
+        Session::start(self.config.clone(), data, platform, Some(observer))
+    }
+
+    fn run_loop<'a>(
+        &self,
+        data: &Dataset,
+        platform: &'a mut dyn CrowdPlatform,
+        observer: Option<&'a mut dyn Observer>,
     ) -> Result<RunReport, RunError> {
-        if data.n_objects() == 0 {
-            return Err(RunError::EmptyDataset);
-        }
-        let t_start = Instant::now();
-        observer.event(&Event::RunStarted {
-            objects: data.n_objects(),
-            attrs: data.n_attrs(),
-            missing_vars: data.n_missing(),
-            budget: self.config.budget,
-            latency: self.config.latency,
-        });
-
-        // ---- Modeling phase --------------------------------------------
-        let model_span = Span::start(RunPhase::Model);
-        let (model, model_stats) = MissingValueModel::learn_with_stats(data, &self.config.model);
-        let base_pmfs: BTreeMap<VarId, Pmf> = model.into_pmfs();
-        let mut dists: VarDists = base_pmfs.iter().map(|(k, v)| (*k, v.clone())).collect();
-        observer.event(&Event::ModelTrained {
-            bic: model_stats.bic,
-            edges: model_stats.edges,
-            em_iters: model_stats.em_iters,
-            nanos: model_span.elapsed_nanos(),
-        });
-        model_span.finish(observer);
-
-        let ctable_span = Span::start(RunPhase::CTable);
-        let (mut ctable, build_stats) = build_ctable_with_stats(data, &self.config.ctable_config());
-        observer.event(&Event::CTableBuilt {
-            objects: build_stats.objects,
-            open_objects: build_stats.open,
-            vars: build_stats.vars,
-            exprs: build_stats.exprs,
-            pruned: build_stats.pruned,
-            nanos: ctable_span.elapsed_nanos(),
-        });
-        ctable_span.finish(observer);
-        let modeling_time = t_start.elapsed();
-
-        // ---- Crowdsourcing phase (Algorithm 4) --------------------------
-        let solver = self.config.solver.build();
-        let mut store = ConstraintStore::new(data);
-        let mut budget = self.config.budget;
-        let mu = self.config.tasks_per_round().max(1);
-        let retry = self.config.retry;
-        let mut evals: u64 = 0;
-
-        // Failure bookkeeping. Latency is measured against the platform's
-        // own round counter (a straggling platform may consume several
-        // rounds per posted batch) plus locally idled backoff rounds.
-        let rounds_before = platform.stats().rounds;
-        let mut pending: Vec<PendingTask> = Vec::new();
-        let mut tasks_expired = 0usize;
-        let mut tasks_retried = 0usize;
-        let mut rounds_stalled = 0usize;
-        // Rounds spent posting nothing while queued tasks wait out their
-        // backoff. They consume latency (a real campaign waits through
-        // them) but never appear in the platform's round counter.
-        let mut idle_rounds = 0usize;
-        let mut round_idx = 0usize;
-        // Totals for the RunFinished event and platform-exhaustion check.
-        let mut total_posted = 0usize;
-        let mut total_answered = 0usize;
-
-        // Condition probabilities are cached across rounds: a round's
-        // answers only change the distributions of the variables they asked
-        // about, so only conditions mentioning those variables need
-        // re-solving.
-        let mut prob_cache: BTreeMap<ObjectId, f64> = BTreeMap::new();
-        loop {
-            if budget == 0 || ctable.n_open_exprs() == 0 {
-                break;
-            }
-            if self.config.latency > 0
-                && (platform.stats().rounds - rounds_before) + idle_rounds >= self.config.latency
-            {
-                break;
-            }
-            round_idx += 1;
-            observer.event(&Event::RoundStarted { round: round_idx });
-            let round_start = Instant::now();
-            let limit = mu.min(budget);
-            let select_span = Span::start(RunPhase::Select);
-
-            // Re-posts come first: failed tasks whose backoff has elapsed
-            // and whose answer is still useful (propagation may have decided
-            // everything they touch in the meantime — those drop quietly).
-            let mut batch: Vec<Task> = Vec::new();
-            let mut attempts_in_batch: Vec<usize> = Vec::new();
-            let mut waiting: Vec<PendingTask> = Vec::new();
-            for p in pending.drain(..) {
-                if !task_still_open(&ctable, &p.task) {
-                    continue;
-                }
-                if p.eligible_round <= round_idx && batch.len() < limit {
-                    batch.push(p.task);
-                    attempts_in_batch.push(p.attempts);
-                } else {
-                    waiting.push(p);
-                }
-            }
-            pending = waiting;
-            let n_retries = batch.len();
-            tasks_retried += n_retries;
-            if n_retries > 0 && retry.escalate_workers > 0 {
-                platform.escalate(retry.escalate_workers);
-            }
-
-            // Variables already spoken for: this round's re-posts and the
-            // queued tasks still backing off. Fresh selection must not ask
-            // about them a second time.
-            let mut reserved: BTreeSet<VarId> = batch.iter().flat_map(|t| t.vars()).collect();
-            reserved.extend(pending.iter().flat_map(|p| p.task.vars()));
-
-            if batch.len() < limit {
-                let open = ctable.open_objects();
-                let stale: Vec<ObjectId> = open
-                    .iter()
-                    .copied()
-                    .filter(|o| !prob_cache.contains_key(o))
-                    .collect();
-                let fresh = self.probabilities(
-                    &ctable,
-                    &stale,
-                    solver.as_ref(),
-                    &dists,
-                    RunPhase::Select,
-                    observer,
-                )?;
-                evals += fresh.len() as u64;
-                prob_cache.extend(fresh);
-                let probs: Vec<(ObjectId, f64)> =
-                    open.iter().map(|o| (*o, prob_cache[o])).collect();
-                let ranked = rank_objects(&probs, self.config.ranking);
-                let fresh_tasks = assemble_round(
-                    &ranked,
-                    &ctable,
-                    self.config.strategy,
-                    solver.as_ref(),
-                    &dists,
-                    limit - batch.len(),
-                    self.config.conflict_free,
-                    &reserved,
-                );
-                attempts_in_batch.resize(batch.len() + fresh_tasks.len(), 0);
-                batch.extend(fresh_tasks);
-            }
-            select_span.finish(observer);
-
-            if batch.is_empty() {
-                observer.event(&Event::RoundFinished {
-                    round: round_idx,
-                    posted: 0,
-                    answered: 0,
-                    expired: 0,
-                    requeued: 0,
-                    retried: 0,
-                    nanos: round_start.elapsed().as_nanos(),
-                });
-                if pending.is_empty() {
-                    break;
-                }
-                // Everything still owed is backing off: idle one round.
-                idle_rounds += 1;
-                rounds_stalled += 1;
-                continue;
-            }
-
-            // Algorithm 4 line 8: B ← max(B − μ, 0). The full per-round
-            // allowance is charged even if conflicts left some of it unused,
-            // which is what bounds the number of rounds by L. Re-posts are
-            // tasks like any other and consume the same allowance.
-            budget = budget.saturating_sub(limit);
-
-            let post_span = Span::start(RunPhase::Post);
-            let results = platform.post_round(&batch);
-            post_span.finish(observer);
-            total_posted += batch.len();
-
-            let mut answers: Vec<TaskAnswer> = Vec::with_capacity(batch.len());
-            let mut round_expired = 0usize;
-            let mut round_requeued = 0usize;
-            for (i, task) in batch.iter().enumerate() {
-                // Defensive against foreign platforms returning short result
-                // vectors: a missing result is an expired task.
-                let outcome = results
-                    .get(i)
-                    .map(|r| r.outcome)
-                    .unwrap_or(TaskOutcome::Expired);
-                match outcome {
-                    TaskOutcome::Answered(relation) => answers.push(TaskAnswer {
-                        task: *task,
-                        relation,
-                    }),
-                    TaskOutcome::Expired | TaskOutcome::Inconsistent => {
-                        let attempts = attempts_in_batch[i] + 1;
-                        if attempts < retry.max_attempts {
-                            round_requeued += 1;
-                            pending.push(PendingTask {
-                                task: *task,
-                                attempts,
-                                eligible_round: round_idx + 1 + retry.backoff_rounds(attempts),
-                            });
-                        } else {
-                            round_expired += 1;
-                        }
-                    }
-                }
-            }
-            tasks_expired += round_expired;
-            total_answered += answers.len();
-            if answers.is_empty() {
-                rounds_stalled += 1;
-            }
-            let propagate_span = Span::start(RunPhase::Propagate);
-            // Invalidate cached probabilities of conditions touching any
-            // variable the round asked about (their pmfs and/or conditions
-            // change below).
-            let touched: std::collections::BTreeSet<VarId> =
-                answers.iter().flat_map(|a| a.task.vars()).collect();
-            prob_cache.retain(|o, _| {
-                let cond = ctable.condition(*o);
-                !cond.is_decided() && cond.vars().is_disjoint(&touched)
-            });
-            if self.config.propagate_answers {
-                for a in &answers {
-                    store.record(a.task.var, a.task.rhs, a.relation);
-                }
-                let prop_stats = ctable.propagate(&store);
-                // Re-condition each touched variable's distribution on its
-                // narrowed candidate set.
-                for (var, base) in &base_pmfs {
-                    let mask = store.mask(*var);
-                    if let Some(pmf) = base.conditioned(mask) {
-                        dists.insert(*var, pmf);
-                    }
-                }
-                observer.event(&Event::Propagated {
-                    answers: answers.len(),
-                    decided: prop_stats.decided,
-                    depth: prop_stats.max_depth,
-                    nanos: propagate_span.elapsed_nanos(),
-                });
-            } else {
-                // Ablation: an answer only settles the exact expression it
-                // was derived from — no cross-condition inference.
-                let answered: BTreeMap<Task, Relation> =
-                    answers.iter().map(|a| (a.task, a.relation)).collect();
-                for o in data.objects() {
-                    let cond = ctable.condition(o);
-                    if cond.is_decided() {
-                        continue;
-                    }
-                    let simplified = cond.simplify(|e| {
-                        answered
-                            .get(&Task::from_expr(e))
-                            .map(|&rel| expr_truth(e.op(), rel))
-                    });
-                    ctable.set_condition(o, simplified);
-                }
-            }
-            propagate_span.finish(observer);
-            observer.event(&Event::RoundFinished {
-                round: round_idx,
-                posted: batch.len(),
-                answered: answers.len(),
-                expired: round_expired,
-                requeued: round_requeued,
-                retried: n_retries,
-                nanos: round_start.elapsed().as_nanos(),
-            });
-        }
-
-        // Tasks still queued (and still useful) when budget or latency ran
-        // out never got their answer: graceful degradation, not an error.
-        let tasks_abandoned = pending
-            .iter()
-            .filter(|p| task_still_open(&ctable, &p.task))
-            .count();
-        tasks_expired += tasks_abandoned;
-        if tasks_abandoned > 0 {
-            observer.event(&Event::Degraded { tasks_abandoned });
-        }
-        let degraded = tasks_expired > 0;
-
-        // ---- Derive the answer set --------------------------------------
-        // Open conditions keep their symbolic variables; their objects are
-        // judged by the probability under the current posterior, exactly as
-        // in a fully-budgeted run that simply stopped earlier. Cached
-        // probabilities are still valid (invalidation dropped everything a
-        // crowd answer touched), so only stale conditions are re-solved.
-        let finalize_span = Span::start(RunPhase::Finalize);
-        let open = ctable.open_objects();
-        let stale: Vec<ObjectId> = open
-            .iter()
-            .copied()
-            .filter(|o| !prob_cache.contains_key(o))
-            .collect();
-        let fresh = self.probabilities(
-            &ctable,
-            &stale,
-            solver.as_ref(),
-            &dists,
-            RunPhase::Finalize,
-            observer,
-        )?;
-        evals += fresh.len() as u64;
-        prob_cache.extend(fresh);
-        let certain = ctable.certain_answers();
-        let mut result = certain.clone();
-        let mut open_probabilities = BTreeMap::new();
-        for o in open {
-            let p = prob_cache[&o];
-            open_probabilities.insert(o, p);
-            if p > self.config.answer_threshold {
-                result.push(o);
-            }
-        }
-        result.sort_unstable();
-        finalize_span.finish(observer);
-
-        let truth = platform
-            .ground_truth()
-            .and_then(|complete| bc_data::skyline::skyline_sfs(complete).ok());
-        let accuracy = truth.map(|t| Accuracy::of(&result, &t));
-
-        let report = RunReport {
-            result,
-            certain,
-            open_probabilities,
-            accuracy,
-            crowd: platform.stats(),
-            budget_left: budget,
-            modeling_time,
-            total_time: t_start.elapsed(),
-            probability_evals: evals,
-            open_exprs_left: ctable.n_open_exprs(),
-            tasks_expired,
-            tasks_retried,
-            rounds_stalled,
-            degraded,
-        };
-        observer.event(&Event::RunFinished {
-            rounds: report.crowd.rounds,
-            tasks_posted: report.crowd.tasks_posted,
-            tasks_answered: total_answered,
-            tasks_expired: report.tasks_expired,
-            tasks_retried: report.tasks_retried,
-            probability_evals: report.probability_evals,
-            nanos: t_start.elapsed().as_nanos(),
-        });
-
-        // A platform that swallowed every single task is indistinguishable
-        // from no crowd at all: surface it as an error with the degraded
-        // report attached (the trace above is already complete).
-        if total_posted > 0 && total_answered == 0 && report.open_exprs_left > 0 {
-            return Err(RunError::PlatformExhausted {
-                report: Box::new(report),
-            });
-        }
-        Ok(report)
-    }
-
-    /// Per-object condition probabilities, optionally in parallel, emitting
-    /// one [`Event::ProbabilityBatch`] per non-empty batch. Solver errors
-    /// (e.g. the naive enumerator's state cap) fall back to ADPLL; an error
-    /// that survives the fallback aborts the run as [`RunError::Solver`].
-    fn probabilities(
-        &self,
-        ctable: &CTable,
-        objects: &[ObjectId],
-        solver: &dyn Solver,
-        dists: &VarDists,
-        phase: RunPhase,
-        observer: &mut dyn Observer,
-    ) -> Result<Vec<(ObjectId, f64)>, RunError> {
-        if objects.is_empty() {
-            return Ok(Vec::new());
-        }
-        let t = Instant::now();
-        let (out, stats, solver_calls) = self.solve_batch(ctable, objects, solver, dists)?;
-        observer.event(&Event::ProbabilityBatch {
-            phase,
-            objects: objects.len(),
-            solver_calls,
-            branches: stats.branches,
-            cache_hits: stats.cache_hits,
-            nanos: t.elapsed().as_nanos(),
-        });
-        Ok(out)
-    }
-
-    fn solve_batch(
-        &self,
-        ctable: &CTable,
-        objects: &[ObjectId],
-        solver: &dyn Solver,
-        dists: &VarDists,
-    ) -> SolvedBatch {
-        // One worker's share: solve sequentially, attributing per-call
-        // effort via snapshot diffs and counting fallback re-solves.
-        fn solve_chunk(
-            ctable: &CTable,
-            objects: &[ObjectId],
-            solver: &dyn Solver,
-            dists: &VarDists,
-        ) -> SolvedBatch {
-            let mut out = Vec::with_capacity(objects.len());
-            let mut stats = SolveStats::default();
-            let mut calls = 0u64;
-            for &o in objects {
-                let cond = ctable.condition(o);
-                calls += 1;
-                let (p, s) = match solver.probability_with_stats(cond, dists) {
-                    Ok(solved) => solved,
-                    Err(_) => {
-                        calls += 1;
-                        AdpllSolver::new().probability_with_stats(cond, dists)?
-                    }
-                };
-                stats += s;
-                out.push((o, p));
-            }
-            Ok((out, stats, calls))
-        }
-
-        if self.config.parallel && objects.len() > 64 && self.config.solver == SolverKind::Adpll {
-            let n_threads = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-                .min(objects.len());
-            let chunk = objects.len().div_ceil(n_threads);
-            let mut out: Vec<(ObjectId, f64)> = Vec::with_capacity(objects.len());
-            let mut stats = SolveStats::default();
-            let mut calls = 0u64;
-            let mut first_err: Option<SolverError> = None;
-            std::thread::scope(|s| {
-                let handles: Vec<_> = objects
-                    .chunks(chunk)
-                    .map(|slice| {
-                        s.spawn(move || {
-                            let local = AdpllSolver::new();
-                            solve_chunk(ctable, slice, &local, dists)
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    match h.join().expect("probability worker panicked") {
-                        Ok((chunk_out, chunk_stats, chunk_calls)) => {
-                            out.extend(chunk_out);
-                            stats += chunk_stats;
-                            calls += chunk_calls;
-                        }
-                        Err(e) => first_err = first_err.take().or(Some(e)),
-                    }
-                }
-            });
-            match first_err {
-                Some(e) => Err(e),
-                None => Ok((out, stats, calls)),
-            }
-        } else {
-            solve_chunk(ctable, objects, solver, dists)
-        }
+        let mut session = Session::start(self.config.clone(), data, platform, observer)?;
+        while session.step()? {}
+        session.finalize()
     }
 }
 
 /// Truth of an expression `var op rhs` given the answered relation of
 /// `var` to `rhs`.
-fn expr_truth(op: CmpOp, rel: Relation) -> bool {
+pub(crate) fn expr_truth(op: CmpOp, rel: Relation) -> bool {
     match op {
         CmpOp::Lt => rel == Relation::Lt,
         CmpOp::Le => rel != Relation::Gt,
@@ -601,7 +144,7 @@ pub fn machine_only_answers(data: &Dataset, config: &BayesCrowdConfig) -> (Vec<O
     let model = MissingValueModel::learn(data, &config.model);
     let dists: VarDists = model.pmfs().iter().map(|(k, v)| (*k, v.clone())).collect();
     let ctable = build_ctable(data, &config.ctable_config());
-    let solver = AdpllSolver::new();
+    let solver = config.build_solver();
     let mut result = ctable.certain_answers();
     for o in ctable.open_objects() {
         let p = solver
@@ -619,8 +162,9 @@ pub fn machine_only_answers(data: &Dataset, config: &BayesCrowdConfig) -> (Vec<O
 mod tests {
     use super::*;
     use crate::strategy::TaskStrategy;
-    use bc_crowd::{GroundTruthOracle, SimulatedPlatform};
+    use bc_crowd::{CrowdPlatform, GroundTruthOracle, SimulatedPlatform, Task, TaskOutcome};
     use bc_data::generators::sample::{paper_completion, paper_dataset};
+    use bc_obs::{Event, NoopObserver, RunPhase};
 
     fn sample_config(strategy: TaskStrategy) -> BayesCrowdConfig {
         BayesCrowdConfig {
@@ -967,5 +511,34 @@ mod tests {
         assert_eq!(via_run.result, via_try.result);
         assert_eq!(via_run.probability_evals, via_try.probability_evals);
         assert_eq!(via_run.crowd.tasks_posted, via_try.crowd.tasks_posted);
+    }
+
+    #[test]
+    fn stepping_a_session_matches_run() {
+        // Driving the loop manually through the Session API is exactly the
+        // run() loop: same report, same posted tasks, same evals.
+        let data = paper_dataset();
+        let config = sample_config(TaskStrategy::Hhs { m: 2 });
+        let mk_platform = || {
+            let oracle = GroundTruthOracle::new(paper_completion());
+            SimulatedPlatform::new(oracle, 1.0, 7)
+        };
+        let via_run = BayesCrowd::new(config.clone()).run(&data, &mut mk_platform());
+        let mut platform = mk_platform();
+        let mut session = BayesCrowd::new(config)
+            .session(&data, &mut platform)
+            .unwrap();
+        let mut steps = 0;
+        while session.step().unwrap() {
+            steps += 1;
+            assert!(session.round() >= steps);
+        }
+        assert!(session.is_finished());
+        let via_session = session.finalize().unwrap();
+        assert!(steps > 0);
+        assert_eq!(via_run.result, via_session.result);
+        assert_eq!(via_run.probability_evals, via_session.probability_evals);
+        assert_eq!(via_run.crowd.tasks_posted, via_session.crowd.tasks_posted);
+        assert_eq!(via_run.budget_left, via_session.budget_left);
     }
 }

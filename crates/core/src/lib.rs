@@ -73,20 +73,31 @@
 //! assert_eq!(report.accuracy.unwrap().f1, 1.0);
 //! assert_eq!(metrics.counters().probability_evals, report.probability_evals);
 //! ```
+//!
+//! For long-running crowd campaigns, [`BayesCrowd::session`] exposes the
+//! same loop one round at a time as a resumable [`Session`]:
+//! [`Session::step`] runs one round, [`Session::checkpoint`] serializes the
+//! full mid-run state to any `Write` as a checksummed `bc-snapshot`
+//! document, and [`Session::resume`] revives it after a crash with a
+//! deterministic continuation — the resumed run's report is identical
+//! (wall-clock durations aside) to the uninterrupted one.
 
 pub mod config;
 pub mod error;
 pub mod framework;
 pub mod report;
 pub mod selection;
+pub mod session;
 pub mod strategy;
 
 pub use bc_crowd::RetryPolicy;
+pub use bc_solver::BranchHeuristic;
 pub use config::{BayesCrowdConfig, BayesCrowdConfigBuilder, ConfigError, SolverKind};
 pub use error::RunError;
 pub use framework::BayesCrowd;
 pub use report::RunReport;
 pub use selection::ObjectRanking;
+pub use session::Session;
 pub use strategy::TaskStrategy;
 
 /// One-stop imports for driving a run: the framework, its validated
@@ -98,9 +109,11 @@ pub mod prelude {
     pub use crate::framework::BayesCrowd;
     pub use crate::report::RunReport;
     pub use crate::selection::ObjectRanking;
+    pub use crate::session::Session;
     pub use crate::strategy::TaskStrategy;
     pub use bc_crowd::RetryPolicy;
     pub use bc_obs::{
         Event, JsonLinesSink, MetricsRecorder, NoopObserver, Observer, RunPhase, Tee,
     };
+    pub use bc_solver::BranchHeuristic;
 }

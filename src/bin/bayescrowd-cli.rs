@@ -20,13 +20,23 @@
 //! # timings plus counters after the run.
 //! bayescrowd-cli simulate --data movies.csv --complete movies_full.csv \
 //!     --trace run.jsonl --metrics
+//!
+//! # Durable runs: checkpoint after every round, then resume a killed run
+//! # from the newest checkpoint. The resumed run finishes with the same
+//! # deterministic report the uninterrupted one would have produced.
+//! bayescrowd-cli simulate --data movies.csv --complete movies_full.csv \
+//!     --checkpoint-dir ckpt --report-out clean.txt
+//! bayescrowd-cli simulate --data movies.csv --complete movies_full.csv \
+//!     --resume ckpt/round-0003.bcsnap --report-out resumed.txt
 //! ```
 
 use bayescrowd::framework::machine_only_answers;
 use bayescrowd::prelude::*;
-use bc_crowd::{FaultConfig, FaultyPlatform, GroundTruthOracle, SimulatedPlatform};
+use bc_crowd::{CrowdPlatform, FaultConfig, FaultyPlatform, GroundTruthOracle, SimulatedPlatform};
 use bc_data::csv::parse_csv;
 use bc_data::Dataset;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
 use std::process::exit;
 
 struct Args {
@@ -48,6 +58,10 @@ struct Args {
     backoff: usize,
     trace: Option<String>,
     metrics: bool,
+    checkpoint_dir: Option<String>,
+    resume: Option<String>,
+    kill_after_round: Option<usize>,
+    report_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -57,7 +71,8 @@ fn usage() -> ! {
          [--strategy fbs|ubs|hhs] [--m N] [--worker-accuracy F] [--seed N] \
          [--expiry F] [--attrition F] [--spammer-rate F] \
          [--max-attempts N] [--escalate-workers N] [--backoff N] \
-         [--trace FILE.jsonl] [--metrics]"
+         [--trace FILE.jsonl] [--metrics] [--checkpoint-dir DIR] \
+         [--resume FILE.bcsnap] [--kill-after-round N] [--report-out FILE]"
     );
     exit(2);
 }
@@ -82,6 +97,10 @@ fn parse_args() -> Args {
         backoff: 0,
         trace: None,
         metrics: false,
+        checkpoint_dir: None,
+        resume: None,
+        kill_after_round: None,
+        report_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -118,6 +137,12 @@ fn parse_args() -> Args {
             "--backoff" => args.backoff = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--trace" => args.trace = Some(value(&mut i)),
             "--metrics" => args.metrics = true,
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value(&mut i)),
+            "--resume" => args.resume = Some(value(&mut i)),
+            "--kill-after-round" => {
+                args.kill_after_round = Some(value(&mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--report-out" => args.report_out = Some(value(&mut i)),
             _ => usage(),
         }
         i += 1;
@@ -126,6 +151,107 @@ fn parse_args() -> Args {
         usage();
     }
     args
+}
+
+/// Runs the crowdsourcing loop through the resumable [`Session`] API:
+/// fresh or resumed from `--resume`, checkpointing into `--checkpoint-dir`
+/// after every round (write to a temp file, then rename, so a crash never
+/// leaves a torn checkpoint under the final name), and aborting the
+/// process after round `--kill-after-round` to simulate a crash.
+fn drive_session(
+    engine: &BayesCrowd,
+    data: &Dataset,
+    platform: &mut dyn CrowdPlatform,
+    observer: &mut dyn Observer,
+    args: &Args,
+) -> Result<RunReport, RunError> {
+    let mut session = match args.resume.as_deref() {
+        Some(path) => {
+            let file = File::open(path).unwrap_or_else(|e| {
+                eprintln!("cannot open checkpoint {path}: {e}");
+                exit(1);
+            });
+            Session::resume_observed(BufReader::new(file), platform, observer)?
+        }
+        None => engine.session_observed(data, platform, observer)?,
+    };
+    loop {
+        let more = session.step()?;
+        if let Some(dir) = args.checkpoint_dir.as_deref() {
+            write_checkpoint(&mut session, dir)?;
+            if more && args.kill_after_round == Some(session.round()) {
+                eprintln!(
+                    "--kill-after-round: aborting after round {} (checkpoint written)",
+                    session.round()
+                );
+                std::process::abort();
+            }
+        }
+        if !more {
+            break;
+        }
+    }
+    session.finalize()
+}
+
+fn write_checkpoint(session: &mut Session<'_>, dir: &str) -> Result<(), RunError> {
+    let io = |e: std::io::Error| RunError::from(bc_snapshot::SnapshotError::Io(e));
+    std::fs::create_dir_all(dir).map_err(io)?;
+    let tmp = format!("{dir}/checkpoint.tmp");
+    let mut out = BufWriter::new(File::create(&tmp).map_err(io)?);
+    session.checkpoint(&mut out)?;
+    out.flush().map_err(io)?;
+    drop(out);
+    let path = format!("{dir}/round-{:04}.bcsnap", session.round());
+    std::fs::rename(&tmp, &path).map_err(io)?;
+    eprintln!("checkpoint: {path}");
+    Ok(())
+}
+
+/// The deterministic half of the report — everything except wall-clock
+/// durations — one field per line, floats in full `{:?}` precision. Two
+/// runs of the same seeded campaign (interrupted or not) must produce
+/// byte-identical files, which is what the CI resume job diffs.
+fn write_report(report: &RunReport, path: &str) {
+    let mut text = String::new();
+    let ids = |objs: &[bc_data::ObjectId]| {
+        objs.iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    text.push_str(&format!("result: {}\n", ids(&report.result)));
+    text.push_str(&format!("certain: {}\n", ids(&report.certain)));
+    for (o, p) in &report.open_probabilities {
+        text.push_str(&format!("open: {o}={p:?}\n"));
+    }
+    text.push_str(&format!(
+        "crowd: posted={} rounds={} answers={} money={}\n",
+        report.crowd.tasks_posted,
+        report.crowd.rounds,
+        report.crowd.worker_answers,
+        report.crowd.money_spent
+    ));
+    text.push_str(&format!(
+        "budget_left={} evals={} open_exprs_left={} expired={} retried={} stalled={} degraded={}\n",
+        report.budget_left,
+        report.probability_evals,
+        report.open_exprs_left,
+        report.tasks_expired,
+        report.tasks_retried,
+        report.rounds_stalled,
+        report.degraded
+    ));
+    if let Some(acc) = report.accuracy {
+        text.push_str(&format!(
+            "accuracy: precision={:?} recall={:?} f1={:?}\n",
+            acc.precision, acc.recall, acc.f1
+        ));
+    }
+    std::fs::write(path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write report file {path}: {e}");
+        exit(1);
+    });
 }
 
 fn load(path: &str) -> Dataset {
@@ -217,14 +343,13 @@ fn main() {
             let mut noop = NoopObserver;
             // Only wrap when faults were requested, so fault-free runs stay
             // bit-identical to earlier versions under the same seed.
-            let run = move |observer: &mut dyn Observer| {
-                if faults == FaultConfig::default() {
-                    let mut platform = sim;
-                    engine.try_run(&data, &mut platform, observer)
-                } else {
-                    let mut platform = FaultyPlatform::new(sim, faults, args.seed ^ 0x5eed);
-                    engine.try_run(&data, &mut platform, observer)
-                }
+            let mut platform: Box<dyn CrowdPlatform> = if faults == FaultConfig::default() {
+                Box::new(sim)
+            } else {
+                Box::new(FaultyPlatform::new(sim, faults, args.seed ^ 0x5eed))
+            };
+            let mut run = |observer: &mut dyn Observer| {
+                drive_session(&engine, &data, platform.as_mut(), observer, &args)
             };
             let outcome = match (&mut sink, args.metrics) {
                 (Some(s), true) => run(&mut Tee::new(s, &mut metrics)),
@@ -251,6 +376,9 @@ fn main() {
             }
             if args.metrics {
                 println!("{}", metrics.summary());
+            }
+            if let Some(path) = args.report_out.as_deref() {
+                write_report(&report, path);
             }
             println!("answers ({} objects):", report.result.len());
             for o in &report.result {

@@ -107,3 +107,78 @@ fn unreadable_file_exits_with_error() {
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(1));
 }
+
+#[test]
+fn killed_run_resumes_to_the_identical_report() {
+    // Clean run writing checkpoints and a deterministic report; a second
+    // run killed (process abort) after round 2; a third run resumed from
+    // the newest surviving checkpoint. The resumed report file must be
+    // byte-identical to the clean one.
+    let data = write_temp("k_inc.csv", INCOMPLETE);
+    let complete = write_temp("k_com.csv", COMPLETE);
+    let dir = std::env::temp_dir().join("bayescrowd-cli-tests/kill-resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("work dir");
+    let common = |out: &std::path::Path| {
+        vec![
+            "simulate".to_string(),
+            "--data".into(),
+            data.to_str().unwrap().into(),
+            "--complete".into(),
+            complete.to_str().unwrap().into(),
+            "--alpha".into(),
+            "1.0".into(),
+            "--budget".into(),
+            "12".into(),
+            "--latency".into(),
+            "6".into(),
+            "--expiry".into(),
+            "0.2".into(),
+            "--max-attempts".into(),
+            "3".into(),
+            "--seed".into(),
+            "9".into(),
+            "--report-out".into(),
+            out.to_str().unwrap().into(),
+        ]
+    };
+
+    let clean_report = dir.join("clean.txt");
+    let out = cli()
+        .args(common(&clean_report))
+        .args(["--checkpoint-dir", dir.join("ckpt-clean").to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+
+    let ckpt_dir = dir.join("ckpt");
+    let out = cli()
+        .args(common(&dir.join("never.txt")))
+        .args(["--checkpoint-dir", ckpt_dir.to_str().unwrap()])
+        .args(["--kill-after-round", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "kill run should abort: {out:?}");
+    assert!(!dir.join("never.txt").exists(), "killed run wrote a report");
+
+    let mut snaps: Vec<_> = std::fs::read_dir(&ckpt_dir)
+        .expect("checkpoint dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "bcsnap"))
+        .collect();
+    snaps.sort();
+    let latest = snaps.last().expect("at least one checkpoint survived");
+
+    let resumed_report = dir.join("resumed.txt");
+    let out = cli()
+        .args(common(&resumed_report))
+        .args(["--resume", latest.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+
+    let clean = std::fs::read_to_string(&clean_report).expect("clean report");
+    let resumed = std::fs::read_to_string(&resumed_report).expect("resumed report");
+    assert!(clean.contains("result:"), "{clean}");
+    assert_eq!(clean, resumed, "resumed report diverged from the clean run");
+}
