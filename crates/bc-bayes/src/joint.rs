@@ -1,0 +1,198 @@
+//! Exact joint distributions over small sets of independent variables.
+//!
+//! The possible-worlds oracle (`bc-oracle`) needs to walk every completion
+//! of a small incomplete dataset together with its exact probability. Under
+//! the modeling assumption the whole pipeline shares — distinct missing
+//! cells are independent once the Bayesian network has produced their
+//! per-cell [`Pmf`]s — the joint over `k` variables is the product measure
+//! over their supports. This module materializes that product as a
+//! deterministic odometer iterator with an explicit state-space guard, so
+//! callers cannot accidentally enumerate an astronomically large joint.
+
+use crate::pmf::Pmf;
+use bc_data::VarId;
+use std::fmt;
+
+/// Error raised when the joint would be too large to enumerate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JointTooLarge {
+    /// Assignments the enumeration would need.
+    pub states: u128,
+    /// The configured cap.
+    pub limit: u128,
+}
+
+impl fmt::Display for JointTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "joint enumeration needs {} states (limit {})",
+            self.states, self.limit
+        )
+    }
+}
+
+impl std::error::Error for JointTooLarge {}
+
+/// The exact joint over a set of independent variables, enumerated as
+/// `(assignment, probability)` pairs in lexicographic support order.
+///
+/// Assignments pair each variable (in the order given at construction) with
+/// one value from its pmf's support; the probability is the product of the
+/// per-variable masses, so the weights of all yielded assignments sum to 1.
+///
+/// ```
+/// use bc_bayes::{joint::JointAssignments, Pmf};
+/// use bc_data::VarId;
+///
+/// let vars = vec![
+///     (VarId::new(0, 0), Pmf::from_weights(vec![1.0, 3.0])),
+///     (VarId::new(1, 0), Pmf::uniform(2)),
+/// ];
+/// let joint = JointAssignments::new(vars, 1_000).unwrap();
+/// assert_eq!(joint.n_states(), 4);
+/// let total: f64 = joint.map(|(_, w)| w).sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct JointAssignments {
+    vars: Vec<VarId>,
+    supports: Vec<Vec<u16>>,
+    masses: Vec<Vec<f64>>,
+    idxs: Vec<usize>,
+    n_states: u128,
+    done: bool,
+}
+
+impl JointAssignments {
+    /// Builds the joint over `vars`, enumerating each variable's support
+    /// only. Fails with [`JointTooLarge`] when the product of support sizes
+    /// exceeds `max_states`. An empty variable set yields exactly one empty
+    /// assignment of probability 1 (the single fully-observed world).
+    pub fn new(
+        vars: impl IntoIterator<Item = (VarId, Pmf)>,
+        max_states: u128,
+    ) -> Result<JointAssignments, JointTooLarge> {
+        let mut ids = Vec::new();
+        let mut supports: Vec<Vec<u16>> = Vec::new();
+        let mut masses: Vec<Vec<f64>> = Vec::new();
+        for (v, pmf) in vars {
+            let support: Vec<u16> = pmf.support().collect();
+            masses.push(support.iter().map(|&x| pmf.p(x)).collect());
+            supports.push(support);
+            ids.push(v);
+        }
+        let n_states = supports
+            .iter()
+            .fold(1u128, |acc, s| acc.saturating_mul(s.len() as u128));
+        if n_states > max_states {
+            return Err(JointTooLarge {
+                states: n_states,
+                limit: max_states,
+            });
+        }
+        Ok(JointAssignments {
+            idxs: vec![0; ids.len()],
+            vars: ids,
+            supports,
+            masses,
+            n_states,
+            done: false,
+        })
+    }
+
+    /// Number of assignments the iterator will yield.
+    pub fn n_states(&self) -> u128 {
+        self.n_states
+    }
+
+    /// The variables, in assignment order.
+    pub fn vars(&self) -> &[VarId] {
+        &self.vars
+    }
+}
+
+impl Iterator for JointAssignments {
+    type Item = (Vec<(VarId, u16)>, f64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let mut assignment = Vec::with_capacity(self.vars.len());
+        let mut weight = 1.0;
+        for (slot, &i) in self.idxs.iter().enumerate() {
+            assignment.push((self.vars[slot], self.supports[slot][i]));
+            weight *= self.masses[slot][i];
+        }
+        // Odometer step: rightmost slot advances first.
+        self.done = true;
+        for slot in (0..self.idxs.len()).rev() {
+            self.idxs[slot] += 1;
+            if self.idxs[slot] < self.supports[slot].len() {
+                self.done = false;
+                break;
+            }
+            self.idxs[slot] = 0;
+        }
+        Some((assignment, weight))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(o: u32) -> VarId {
+        VarId::new(o, 0)
+    }
+
+    #[test]
+    fn empty_joint_is_the_single_world() {
+        let mut j = JointAssignments::new(Vec::new(), 10).unwrap();
+        assert_eq!(j.n_states(), 1);
+        let (a, w) = j.next().unwrap();
+        assert!(a.is_empty());
+        assert_eq!(w, 1.0);
+        assert!(j.next().is_none());
+    }
+
+    #[test]
+    fn weights_form_the_product_measure() {
+        let j = JointAssignments::new(
+            vec![
+                (v(0), Pmf::from_weights(vec![1.0, 1.0, 2.0])),
+                (v(1), Pmf::from_weights(vec![3.0, 1.0])),
+            ],
+            100,
+        )
+        .unwrap();
+        assert_eq!(j.n_states(), 6);
+        let all: Vec<(Vec<(VarId, u16)>, f64)> = j.collect();
+        assert_eq!(all.len(), 6);
+        let total: f64 = all.iter().map(|(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // First assignment is the lexicographically smallest support combo.
+        assert_eq!(all[0].0, vec![(v(0), 0), (v(1), 0)]);
+        assert!((all[0].1 - 0.25 * 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mass_values_are_skipped() {
+        let j = JointAssignments::new(
+            vec![(v(0), Pmf::from_weights(vec![0.0, 1.0, 0.0, 1.0]))],
+            100,
+        )
+        .unwrap();
+        let values: Vec<u16> = j.map(|(a, _)| a[0].1).collect();
+        assert_eq!(values, vec![1, 3]);
+    }
+
+    #[test]
+    fn state_cap_is_enforced() {
+        let err = JointAssignments::new(vec![(v(0), Pmf::uniform(4)), (v(1), Pmf::uniform(4))], 15)
+            .unwrap_err();
+        assert_eq!(err.states, 16);
+        assert_eq!(err.limit, 15);
+    }
+}

@@ -15,6 +15,8 @@
 //! * [`em`] — expectation-maximization parameter refinement over the
 //!   *incomplete* rows (listwise deletion starves at high missing rates),
 //! * [`infer`] — exact inference by variable elimination,
+//! * [`joint`] — the exact joint over independent per-cell pmfs on small
+//!   domains (the possible-worlds oracle's weighting),
 //! * [`discretize`] — equi-width/equi-depth binning of continuous columns
 //!   (the paper's preprocessing for non-discrete attributes),
 //! * [`model`] — the end-to-end step: dataset in, per-missing-cell
@@ -28,6 +30,7 @@ pub mod discretize;
 pub mod em;
 pub mod graph;
 pub mod infer;
+pub mod joint;
 pub mod learn;
 pub mod model;
 pub mod pmf;

@@ -228,6 +228,16 @@ impl Pmf {
         Some(Pmf { probs: weights })
     }
 
+    /// The distribution of `max_value − X` (with `max_value = card − 1`):
+    /// the pushforward of `self` under the reflection that
+    /// [`bc_data::preference::normalize_directions`] applies to minimized
+    /// attributes. An involution, like the reflection itself.
+    pub fn reflected(&self) -> Pmf {
+        let mut probs = self.probs.clone();
+        probs.reverse();
+        Pmf { probs }
+    }
+
     /// Samples a value.
     pub fn sample(&self, rng: &mut impl Rng) -> u16 {
         let mut x: f64 = rng.gen();

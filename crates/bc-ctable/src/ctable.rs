@@ -2,7 +2,8 @@
 
 use crate::condition::Condition;
 use crate::constraint::ConstraintStore;
-use bc_data::ObjectId;
+use bc_data::{ObjectId, Value, VarId};
+use std::collections::BTreeSet;
 
 /// What one [`CTable::propagate`] pass did.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -77,6 +78,20 @@ impl CTable {
     /// Total number of expressions still present in open conditions.
     pub fn n_open_exprs(&self) -> usize {
         self.entries.iter().map(Condition::n_exprs).sum()
+    }
+
+    /// Every variable mentioned by any open condition — the coordinates a
+    /// possible world must assign to decide the whole table.
+    pub fn vars(&self) -> BTreeSet<VarId> {
+        self.entries.iter().flat_map(Condition::vars).collect()
+    }
+
+    /// Evaluates every condition under one complete assignment (a possible
+    /// world): `result[i]` is whether `φ(o_i)` holds in that world. This is
+    /// the world-enumeration hook the exhaustive oracle walks — `lookup`
+    /// must cover every variable in [`CTable::vars`].
+    pub fn eval_world(&self, lookup: impl Fn(VarId) -> Value + Copy) -> Vec<bool> {
+        self.entries.iter().map(|c| c.eval(lookup)).collect()
     }
 
     /// Re-simplifies every open condition against the constraint store:
@@ -199,6 +214,21 @@ mod tests {
         );
         assert!(ct.open_objects().is_empty());
         assert_eq!(ct.n_open_exprs(), 0);
+    }
+
+    #[test]
+    fn world_evaluation_hooks() {
+        let (data, ct) = sample_ctable();
+        let vars = ct.vars();
+        // Every variable in the table is a missing cell of the dataset.
+        for var in &vars {
+            assert_eq!(data.get(var.object, var.attr), None, "{var} is observed");
+        }
+        // The paper's completion (Table 1 ground truth): o1, o2, o3, o5 in
+        // the skyline. Condition truth in that world must agree.
+        let complete = bc_data::generators::sample::paper_completion();
+        let truth = ct.eval_world(|v| complete.get(v.object, v.attr).unwrap());
+        assert_eq!(truth, vec![true, true, true, false, true]);
     }
 
     #[test]

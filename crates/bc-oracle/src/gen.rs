@@ -1,0 +1,160 @@
+//! Deterministic random instance generation.
+//!
+//! One `u64` seed fully determines an instance — dataset shape, observed
+//! values, which cells are missing, and the per-cell pmfs — so a failing
+//! fuzz case is reproducible from its seed alone, and the committed seed
+//! corpus ([`crate::replay`]) stays byte-stable across machines.
+//!
+//! The default shape matches the acceptance envelope of the differential
+//! harness: ≤ 8 objects, ≤ 3 attributes, domain cardinality ≤ 4, and ≤ 3
+//! missing cells, so a full possible-worlds enumeration never exceeds
+//! `4^3 = 64` worlds.
+
+use bc_bayes::Pmf;
+use bc_data::domain::uniform_domains;
+use bc_data::{AttrId, Dataset, ObjectId, Value, VarId};
+use bc_solver::VarDists;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Shape envelope for generated instances.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Fewest objects to generate.
+    pub min_objects: usize,
+    /// Most objects to generate.
+    pub max_objects: usize,
+    /// Most attributes to generate (at least 1).
+    pub max_attrs: usize,
+    /// Largest domain cardinality (at least 2).
+    pub max_card: u16,
+    /// Most missing cells.
+    pub max_missing: usize,
+    /// Probability that a missing cell gets a skewed (non-uniform) pmf.
+    pub skew_prob: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            min_objects: 2,
+            max_objects: 8,
+            max_attrs: 3,
+            max_card: 4,
+            max_missing: 3,
+            skew_prob: 0.5,
+        }
+    }
+}
+
+/// One self-contained fuzz instance: an incomplete dataset plus the pmf of
+/// every missing cell.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// Display/corpus name (`gen-<seed>` for generated instances).
+    pub name: String,
+    /// The seed that produced it (0 for handcrafted instances).
+    pub seed: u64,
+    /// The incomplete dataset.
+    pub data: Dataset,
+    /// Distribution of each missing cell. Keys are exactly
+    /// `data.missing_vars()`.
+    pub pmfs: BTreeMap<VarId, Pmf>,
+}
+
+impl Instance {
+    /// The pmfs in the form the solvers take.
+    pub fn dists(&self) -> VarDists {
+        VarDists::new(self.pmfs.clone())
+    }
+
+    /// Number of possible worlds (product of pmf cardinalities).
+    pub fn n_worlds(&self) -> u128 {
+        self.pmfs.values().map(|p| p.card() as u128).product()
+    }
+}
+
+/// Generates the instance determined by `seed` within `cfg`'s envelope.
+pub fn random_instance(seed: u64, cfg: &GenConfig) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(cfg.min_objects..=cfg.max_objects.max(cfg.min_objects));
+    let d = rng.gen_range(1..=cfg.max_attrs.max(1));
+    let card = rng.gen_range(2..=cfg.max_card.max(2));
+
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|_| (0..d).map(|_| rng.gen_range(0..card)).collect())
+        .collect();
+    let domains = uniform_domains(d, card).expect("valid domain shape");
+    let mut data = Dataset::from_complete_rows(format!("gen-{seed}"), domains, rows)
+        .expect("generated rows are in-domain");
+
+    let mut cells: Vec<(u32, u16)> = (0..n as u32)
+        .flat_map(|o| (0..d as u16).map(move |a| (o, a)))
+        .collect();
+    cells.shuffle(&mut rng);
+    let n_missing = rng.gen_range(0..=cfg.max_missing.min(cells.len()));
+    let mut pmfs = BTreeMap::new();
+    for &(o, a) in cells.iter().take(n_missing) {
+        data.set(ObjectId(o), AttrId(a), None)
+            .expect("blanking an in-range cell");
+        let pmf = if rng.gen_bool(cfg.skew_prob) {
+            let weights: Vec<f64> = (0..card).map(|_| rng.gen_range(0.05..1.0)).collect();
+            Pmf::from_weights(weights)
+        } else {
+            Pmf::uniform(card as usize)
+        };
+        pmfs.insert(VarId::new(o, a), pmf);
+    }
+
+    Instance {
+        name: format!("gen-{seed}"),
+        seed,
+        data,
+        pmfs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = random_instance(42, &cfg);
+        let b = random_instance(42, &cfg);
+        assert_eq!(a.data.complete_rows(), b.data.complete_rows());
+        assert_eq!(a.data.missing_vars(), b.data.missing_vars());
+        for (v, p) in &a.pmfs {
+            assert_eq!(p.probs(), b.pmfs[v].probs());
+        }
+        let c = random_instance(43, &cfg);
+        assert!(
+            a.data.complete_rows() != c.data.complete_rows()
+                || a.data.missing_vars() != c.data.missing_vars()
+        );
+    }
+
+    #[test]
+    fn instances_respect_the_envelope() {
+        let cfg = GenConfig::default();
+        for seed in 0..200 {
+            let inst = random_instance(seed, &cfg);
+            assert!(inst.data.n_objects() >= cfg.min_objects);
+            assert!(inst.data.n_objects() <= cfg.max_objects);
+            assert!(inst.data.n_attrs() >= 1 && inst.data.n_attrs() <= cfg.max_attrs);
+            assert!(inst.data.n_missing() <= cfg.max_missing);
+            assert_eq!(
+                inst.data.missing_vars(),
+                inst.pmfs.keys().copied().collect::<Vec<_>>()
+            );
+            assert!(inst.n_worlds() <= (cfg.max_card as u128).pow(cfg.max_missing as u32));
+            for pmf in inst.pmfs.values() {
+                let total: f64 = pmf.probs().iter().sum();
+                assert!((total - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

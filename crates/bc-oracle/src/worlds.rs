@@ -1,0 +1,374 @@
+//! The exhaustive possible-worlds oracle.
+//!
+//! A possible world of an incomplete dataset is one completion: every
+//! missing cell `Var(o, a)` replaced by a value from its domain. Under the
+//! pipeline's independence assumption the probability of a world is the
+//! product of the per-cell pmf masses ([`bc_bayes::joint`]), and the *true*
+//! probability that object `o` answers the skyline query is the total
+//! weight of the worlds in which it does.
+//!
+//! This module computes that number by brute force — dominance tests per
+//! world, no c-table, no CNF, no solver — so it can stand as ground truth
+//! against the whole `bc-ctable`/`bc-solver` pipeline. It also evaluates
+//! the pipeline's own conditions per world ([`CTable::eval_world`]), which
+//! pins down exactly where the two semantics are allowed to differ: in
+//! worlds with within-column ties, where the paper's strict-inequality CNF
+//! encoding approximates (see `tests/possible_worlds.rs`). In every
+//! tie-free world the two must agree object-for-object, and
+//! [`WorldReport::tie_free_mismatch`] reports the first world where they
+//! don't.
+
+use bc_bayes::joint::JointAssignments;
+use bc_bayes::Pmf;
+use bc_ctable::CTable;
+use bc_data::skyline::skyline_bnl;
+use bc_data::{AttrId, Dataset, Direction, ObjectId, Value, VarId};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised by world enumeration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OracleError {
+    /// The instance has more completions than the configured cap.
+    TooManyWorlds {
+        /// Worlds the enumeration would need.
+        states: u128,
+        /// The configured cap.
+        limit: u128,
+    },
+    /// A missing cell has no distribution.
+    MissingDistribution(VarId),
+    /// The dataset rejected a completion value (pmf wider than the domain).
+    InvalidWorld(String),
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::TooManyWorlds { states, limit } => {
+                write!(f, "instance has {states} possible worlds (limit {limit})")
+            }
+            OracleError::MissingDistribution(v) => {
+                write!(f, "missing cell {v} has no distribution")
+            }
+            OracleError::InvalidWorld(msg) => write!(f, "invalid completion: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// A tie-free world in which a condition's truth disagreed with actual
+/// skyline membership — a genuine c-table construction bug.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TieFreeMismatch {
+    /// The object whose condition lied.
+    pub object: ObjectId,
+    /// The completion, as `(variable, value)` pairs.
+    pub world: Vec<(VarId, Value)>,
+    /// What the condition evaluated to in that world.
+    pub condition_holds: bool,
+    /// Whether the object is actually in that world's skyline.
+    pub in_skyline: bool,
+}
+
+/// What the oracle computed for one instance.
+#[derive(Clone, Debug)]
+pub struct WorldReport {
+    /// Number of enumerated completions.
+    pub n_worlds: u128,
+    /// Per-object weighted frequency of skyline membership over all worlds
+    /// (standard dominance semantics, ties included). Index = object id.
+    pub skyline: Vec<f64>,
+    /// Per-object weighted frequency of `φ(o)` holding over all worlds —
+    /// present when a c-table was supplied. This is the exact quantity
+    /// every solver computes, so solvers are compared against it.
+    pub condition: Option<Vec<f64>>,
+    /// Total weight of tie-free worlds (1.0 when no completion can collide
+    /// with an observed value).
+    pub tie_free_weight: f64,
+    /// First tie-free world where condition truth and skyline membership
+    /// disagreed, if any. `None` is the correctness contract.
+    pub tie_free_mismatch: Option<TieFreeMismatch>,
+}
+
+/// The exhaustive oracle: enumeration with an explicit world cap.
+#[derive(Clone, Copy, Debug)]
+pub struct PossibleWorlds {
+    /// Maximum number of completions to enumerate.
+    pub max_worlds: u128,
+}
+
+impl Default for PossibleWorlds {
+    fn default() -> Self {
+        PossibleWorlds {
+            max_worlds: 1 << 20,
+        }
+    }
+}
+
+impl PossibleWorlds {
+    /// An oracle with the default world cap (`2^20`).
+    pub fn new() -> PossibleWorlds {
+        PossibleWorlds::default()
+    }
+
+    /// An oracle with an explicit cap.
+    pub fn with_limit(max_worlds: u128) -> PossibleWorlds {
+        PossibleWorlds { max_worlds }
+    }
+
+    /// Walks every completion of `data`, weighting by `pmfs`, and invokes
+    /// `visit(world, weight)` per world. The `world` is the completed
+    /// dataset; the weights over all calls sum to 1.
+    pub fn for_each_world(
+        &self,
+        data: &Dataset,
+        pmfs: &BTreeMap<VarId, Pmf>,
+        mut visit: impl FnMut(&Dataset, f64) -> Result<(), OracleError>,
+    ) -> Result<u128, OracleError> {
+        let missing = data.missing_vars();
+        let vars: Vec<(VarId, Pmf)> = missing
+            .iter()
+            .map(|&v| {
+                pmfs.get(&v)
+                    .cloned()
+                    .map(|p| (v, p))
+                    .ok_or(OracleError::MissingDistribution(v))
+            })
+            .collect::<Result<_, _>>()?;
+        let joint = JointAssignments::new(vars, self.max_worlds).map_err(|e| {
+            OracleError::TooManyWorlds {
+                states: e.states,
+                limit: e.limit,
+            }
+        })?;
+        let n_worlds = joint.n_states();
+        let mut world = data.clone();
+        for (assignment, weight) in joint {
+            for &(v, value) in &assignment {
+                world
+                    .set(v.object, v.attr, Some(value))
+                    .map_err(|e| OracleError::InvalidWorld(e.to_string()))?;
+            }
+            visit(&world, weight)?;
+        }
+        Ok(n_worlds)
+    }
+
+    /// The full oracle pass: skyline probabilities (and, when `ctable` is
+    /// given, condition probabilities plus the tie-free agreement check).
+    pub fn report(
+        &self,
+        data: &Dataset,
+        pmfs: &BTreeMap<VarId, Pmf>,
+        ctable: Option<&CTable>,
+    ) -> Result<WorldReport, OracleError> {
+        let n = data.n_objects();
+        let mut skyline = vec![0.0; n];
+        let mut condition = ctable.map(|_| vec![0.0; n]);
+        let mut tie_free_weight = 0.0;
+        let mut tie_free_mismatch = None;
+        let missing = data.missing_vars();
+
+        let n_worlds = self.for_each_world(data, pmfs, |world, weight| {
+            let sky = skyline_bnl(world).map_err(|e| OracleError::InvalidWorld(e.to_string()))?;
+            let mut in_sky = vec![false; n];
+            for &o in &sky {
+                in_sky[o.index()] = true;
+                skyline[o.index()] += weight;
+            }
+            let tie_free = !has_column_tie(world);
+            if tie_free {
+                tie_free_weight += weight;
+            }
+            if let (Some(ct), Some(freqs)) = (ctable, condition.as_mut()) {
+                let lookup = |v: VarId| world.get(v.object, v.attr).expect("world is complete");
+                let holds = ct.eval_world(lookup);
+                for (i, &h) in holds.iter().enumerate() {
+                    if h {
+                        freqs[i] += weight;
+                    }
+                    if tie_free && h != in_sky[i] && tie_free_mismatch.is_none() {
+                        tie_free_mismatch = Some(TieFreeMismatch {
+                            object: ObjectId(i as u32),
+                            world: missing
+                                .iter()
+                                .map(|&v| (v, world.get(v.object, v.attr).unwrap()))
+                                .collect(),
+                            condition_holds: h,
+                            in_skyline: in_sky[i],
+                        });
+                    }
+                }
+            }
+            Ok(())
+        })?;
+
+        Ok(WorldReport {
+            n_worlds,
+            skyline,
+            condition,
+            tie_free_weight,
+            tie_free_mismatch,
+        })
+    }
+
+    /// Skyline probabilities under *mixed preference directions*, computed
+    /// directly from directional dominance — no reflection involved. The
+    /// reflection metamorphic test compares this against the standard
+    /// pipeline run on [`bc_data::normalize_directions`]-reflected data
+    /// with [`Pmf::reflected`] distributions.
+    pub fn skyline_with_directions(
+        &self,
+        data: &Dataset,
+        pmfs: &BTreeMap<VarId, Pmf>,
+        directions: &[Direction],
+    ) -> Result<Vec<f64>, OracleError> {
+        let n = data.n_objects();
+        let mut skyline = vec![0.0; n];
+        self.for_each_world(data, pmfs, |world, weight| {
+            for o in world.objects() {
+                if !world
+                    .objects()
+                    .any(|p| p != o && dominates_directional(world, p, o, directions))
+                {
+                    skyline[o.index()] += weight;
+                }
+            }
+            Ok(())
+        })?;
+        Ok(skyline)
+    }
+}
+
+/// Whether any attribute column of a (complete) world holds the same value
+/// twice. The CNF encoding is exact only on tie-free worlds.
+fn has_column_tie(world: &Dataset) -> bool {
+    world.attrs().any(|a| {
+        let mut seen = vec![false; world.domain(a).cardinality() as usize];
+        world.objects().any(|o| {
+            let v = world.get(o, a).expect("world is complete") as usize;
+            std::mem::replace(&mut seen[v], true)
+        })
+    })
+}
+
+/// Directional dominance: `p` dominates `o` iff `p` is at least as good on
+/// every attribute (per that attribute's direction) and strictly better on
+/// at least one.
+fn dominates_directional(world: &Dataset, p: ObjectId, o: ObjectId, dirs: &[Direction]) -> bool {
+    let mut strict = false;
+    for (i, &dir) in dirs.iter().enumerate() {
+        let a = AttrId(i as u16);
+        let pv = world.get(p, a).expect("world is complete");
+        let ov = world.get(o, a).expect("world is complete");
+        let (better, worse) = match dir {
+            Direction::Maximize => (pv > ov, pv < ov),
+            Direction::Minimize => (pv < ov, pv > ov),
+        };
+        if worse {
+            return false;
+        }
+        if better {
+            strict = true;
+        }
+    }
+    strict
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bc_ctable::{build_ctable, CTableConfig, DominatorStrategy};
+    use bc_data::domain::uniform_domains;
+
+    /// The two-object, one-missing-cell instance is solvable by hand:
+    /// o0 = (2, ?), o1 = (1, 1), domains 0..3, uniform pmf.
+    fn tiny() -> (Dataset, BTreeMap<VarId, Pmf>) {
+        let mut data = Dataset::from_complete_rows(
+            "tiny",
+            uniform_domains(2, 4).unwrap(),
+            vec![vec![2, 0], vec![1, 1]],
+        )
+        .unwrap();
+        data.set(ObjectId(0), AttrId(1), None).unwrap();
+        let pmfs = [(VarId::new(0, 1), Pmf::uniform(4))].into_iter().collect();
+        (data, pmfs)
+    }
+
+    #[test]
+    fn hand_checked_probabilities() {
+        let (data, pmfs) = tiny();
+        let ct = build_ctable(
+            &data,
+            &CTableConfig {
+                alpha: 1.0,
+                strategy: DominatorStrategy::FastIndex,
+            },
+        );
+        let report = PossibleWorlds::new()
+            .report(&data, &pmfs, Some(&ct))
+            .unwrap();
+        assert_eq!(report.n_worlds, 4);
+        // o0 has the higher first attribute: never dominated, always in.
+        assert!((report.skyline[0] - 1.0).abs() < 1e-12);
+        // o1 is dominated exactly when Var(o0,a1) ≥ 1 (3 of 4 worlds).
+        assert!((report.skyline[1] - 0.25).abs() < 1e-12);
+        // No observed value can collide in a column: a0 column is (2, 1),
+        // tie-free; a1 column ties when the missing cell lands on 1.
+        assert!((report.tie_free_weight - 0.75).abs() < 1e-12);
+        assert_eq!(report.tie_free_mismatch, None);
+        let cond = report.condition.unwrap();
+        assert!((cond[0] - 1.0).abs() < 1e-12);
+        // φ(o1) = Var(o0,a1) < 1 — strict, so the tie world counts against.
+        assert!((cond[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directional_matches_reflection() {
+        let (data, pmfs) = tiny();
+        let dirs = [Direction::Maximize, Direction::Minimize];
+        let direct = PossibleWorlds::new()
+            .skyline_with_directions(&data, &pmfs, &dirs)
+            .unwrap();
+        let reflected = bc_data::normalize_directions(&data, &dirs).unwrap();
+        let rpmfs: BTreeMap<VarId, Pmf> = pmfs
+            .iter()
+            .map(|(v, p)| match dirs[v.attr.index()] {
+                Direction::Minimize => (*v, p.reflected()),
+                Direction::Maximize => (*v, p.clone()),
+            })
+            .collect();
+        let via_reflection = PossibleWorlds::new()
+            .report(&reflected, &rpmfs, None)
+            .unwrap();
+        for (o, (&a, &b)) in direct.iter().zip(&via_reflection.skyline).enumerate() {
+            assert!((a - b).abs() < 1e-12, "object {o}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn world_cap_is_enforced() {
+        let (data, pmfs) = tiny();
+        let err = PossibleWorlds::with_limit(3)
+            .report(&data, &pmfs, None)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            OracleError::TooManyWorlds {
+                states: 4,
+                limit: 3
+            }
+        );
+    }
+
+    #[test]
+    fn missing_distribution_is_reported() {
+        let (data, _) = tiny();
+        let err = PossibleWorlds::new()
+            .report(&data, &BTreeMap::new(), None)
+            .unwrap_err();
+        assert_eq!(err, OracleError::MissingDistribution(VarId::new(0, 1)));
+    }
+}

@@ -28,7 +28,7 @@ pub use adpll::{AdpllSolver, BranchHeuristic, SolveStats};
 pub use approxcount::ApproxCountSolver;
 pub use dists::VarDists;
 pub use montecarlo::MonteCarloSolver;
-pub use naive::NaiveSolver;
+pub use naive::{ModelCount, NaiveSolver};
 
 use bc_ctable::Condition;
 use std::fmt;

@@ -23,6 +23,21 @@ impl Default for NaiveSolver {
     }
 }
 
+/// The full enumeration behind one [`NaiveSolver`] probability: how many
+/// assignments exist, how many satisfy the condition, and their total
+/// weight. `weight` *is* `Pr(φ)`; the raw counts let a differential oracle
+/// compare per-condition model counts across solvers, not just the final
+/// float.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ModelCount {
+    /// Assignments enumerated (the product of the variables' support sizes).
+    pub states: u128,
+    /// Assignments satisfying the condition.
+    pub satisfying: u128,
+    /// Total probability mass of the satisfying assignments — `Pr(φ)`.
+    pub weight: f64,
+}
+
 impl NaiveSolver {
     /// A solver with the default state cap.
     pub fn new() -> NaiveSolver {
@@ -33,13 +48,30 @@ impl NaiveSolver {
     pub fn with_limit(max_states: u128) -> NaiveSolver {
         NaiveSolver { max_states }
     }
-}
 
-impl Solver for NaiveSolver {
-    fn probability(&self, cond: &Condition, dists: &VarDists) -> Result<f64, SolverError> {
+    /// Enumerates every assignment and returns the per-condition counts.
+    /// `Condition::True` counts as one satisfying state over zero variables;
+    /// `Condition::False` as zero satisfying states.
+    pub fn count_models(
+        &self,
+        cond: &Condition,
+        dists: &VarDists,
+    ) -> Result<ModelCount, SolverError> {
         let clauses = match cond {
-            Condition::True => return Ok(1.0),
-            Condition::False => return Ok(0.0),
+            Condition::True => {
+                return Ok(ModelCount {
+                    states: 1,
+                    satisfying: 1,
+                    weight: 1.0,
+                })
+            }
+            Condition::False => {
+                return Ok(ModelCount {
+                    states: 1,
+                    satisfying: 0,
+                    weight: 0.0,
+                })
+            }
             Condition::Cnf(_) => cond,
         };
 
@@ -62,27 +94,30 @@ impl Solver for NaiveSolver {
 
         let mut assignment: Vec<Value> = supports.iter().map(|s| s[0]).collect();
         let mut indices = vec![0usize; vars.len()];
-        let mut total = 0.0;
+        let mut count = ModelCount {
+            states,
+            ..ModelCount::default()
+        };
         loop {
             // Weight of this assignment.
             let mut weight = 1.0;
             for (i, &v) in vars.iter().enumerate() {
                 weight *= dists.pmf(v)?.p(assignment[i]);
             }
-            if weight > 0.0 {
-                let lookup = |q: VarId| {
-                    let i = vars.binary_search(&q).expect("all vars collected");
-                    assignment[i]
-                };
-                if clauses.eval(lookup) {
-                    total += weight;
-                }
+            let lookup = |q: VarId| {
+                let i = vars.binary_search(&q).expect("all vars collected");
+                assignment[i]
+            };
+            if clauses.eval(lookup) {
+                count.satisfying += 1;
+                count.weight += weight;
             }
             // Odometer increment.
             let mut k = vars.len();
             loop {
                 if k == 0 {
-                    return Ok(total.clamp(0.0, 1.0));
+                    count.weight = count.weight.clamp(0.0, 1.0);
+                    return Ok(count);
                 }
                 k -= 1;
                 indices[k] += 1;
@@ -94,6 +129,12 @@ impl Solver for NaiveSolver {
                 assignment[k] = supports[k][0];
             }
         }
+    }
+}
+
+impl Solver for NaiveSolver {
+    fn probability(&self, cond: &Condition, dists: &VarDists) -> Result<f64, SolverError> {
+        Ok(self.count_models(cond, dists)?.weight)
     }
 
     fn name(&self) -> &'static str {
@@ -110,6 +151,26 @@ mod tests {
 
     fn v(o: u32, a: u16) -> VarId {
         VarId::new(o, a)
+    }
+
+    #[test]
+    fn count_models_exposes_the_enumeration() {
+        // (x < 2) over uniform 0..4: 2 of 4 states satisfy.
+        let cond = Condition::from_clauses(vec![vec![Expr::lt(v(0, 0), 2)]]);
+        let d: VarDists = [(v(0, 0), Pmf::uniform(4))].into_iter().collect();
+        let count = NaiveSolver::new().count_models(&cond, &d).unwrap();
+        assert_eq!(count.states, 4);
+        assert_eq!(count.satisfying, 2);
+        assert!((count.weight - 0.5).abs() < 1e-12);
+        // Decided conditions have trivial counts.
+        let t = NaiveSolver::new()
+            .count_models(&Condition::True, &d)
+            .unwrap();
+        assert_eq!((t.states, t.satisfying), (1, 1));
+        let f = NaiveSolver::new()
+            .count_models(&Condition::False, &d)
+            .unwrap();
+        assert_eq!((f.states, f.satisfying), (1, 0));
     }
 
     #[test]

@@ -346,6 +346,65 @@ impl<'a> Session<'a> {
         self.finished
     }
 
+    /// The c-table as of the last step — each object's current condition
+    /// after all propagation so far. Together with [`Session::dists`] this
+    /// is everything an external oracle needs to recompute the session's
+    /// probabilities from scratch.
+    pub fn ctable(&self) -> &CTable {
+        &self.ctable
+    }
+
+    /// The current per-variable posterior distributions (the learned pmfs,
+    /// truncated by every crowd answer propagated so far).
+    pub fn dists(&self) -> &VarDists {
+        &self.dists
+    }
+
+    /// Every object's probability of being a skyline answer under the
+    /// current posterior: `1.0` for conditions already decided true, `0.0`
+    /// for false, and `Pr(φ(o))` via the configured solver otherwise.
+    ///
+    /// This is the oracle-checking hook: callable between any two
+    /// [`Session::step`]s (or after a resume), it exposes the exact
+    /// per-object numbers a [`Session::finalize`] at this instant would
+    /// threshold — so a test can compare every intermediate state against
+    /// an independent possible-worlds computation, not just the final
+    /// [`RunReport`]. Freshly solved probabilities land in the session's
+    /// round-level cache, exactly as a finalize would leave them.
+    pub fn object_probabilities(&mut self) -> Result<BTreeMap<ObjectId, f64>, RunError> {
+        let open = self.ctable.open_objects();
+        let stale: Vec<ObjectId> = open
+            .iter()
+            .copied()
+            .filter(|o| !self.prob_cache.contains_key(o))
+            .collect();
+        let observer: &mut dyn Observer = match self.observer.as_deref_mut() {
+            Some(o) => o,
+            None => &mut self.noop,
+        };
+        let fresh = probabilities(
+            &self.config,
+            &self.ctable,
+            &stale,
+            self.solver.as_ref(),
+            &self.dists,
+            RunPhase::Finalize,
+            observer,
+        )?;
+        self.evals += fresh.len() as u64;
+        self.prob_cache.extend(fresh);
+        let mut out = BTreeMap::new();
+        for (o, cond) in self.ctable.iter() {
+            let p = match cond {
+                Condition::True => 1.0,
+                Condition::False => 0.0,
+                Condition::Cnf(_) => self.prob_cache[&o],
+            };
+            out.insert(o, p);
+        }
+        Ok(out)
+    }
+
     /// Runs one crowdsourcing round (one iteration of Algorithm 4):
     /// selection, posting, and answer propagation. Returns `Ok(true)` while
     /// the loop may continue and `Ok(false)` once it has terminated (budget

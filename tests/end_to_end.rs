@@ -156,3 +156,27 @@ proptest! {
         }
     }
 }
+
+/// The shrunk case recorded in `end_to_end.proptest-regressions`
+/// (`n = 10, seed = 1709` of `crowdsky_is_exact_with_perfect_workers`).
+/// The vendored proptest stand-in does not replay regression files, so the
+/// case is re-run explicitly here; an oracle-sized cut of the same dataset
+/// is committed to the fuzz corpus as `reg-crowdsky-1709.bcsnap` (see
+/// `bc_oracle::corpus`).
+#[test]
+fn regression_crowdsky_n10_seed1709() {
+    let (n, d, seed) = (10usize, 4usize, 1709u64);
+    let complete = permutation_dataset(n, d, seed);
+    let masked = bc_data::missing::mask_attributes(&complete, &[AttrId(d as u16 - 1)]);
+    let truth = skyline_bnl(&complete).unwrap();
+
+    let oracle = GroundTruthOracle::new(complete.clone());
+    let mut platform = SimulatedPlatform::new(oracle, 1.0, seed);
+    let cs = CrowdSky::new(CrowdSkyConfig { round_size: 5 }).run(&masked, &mut platform);
+    assert_eq!(&cs.result, &truth, "CrowdSky wrong at seed {seed}");
+
+    let oracle = GroundTruthOracle::new(complete);
+    let mut platform = SimulatedPlatform::new(oracle, 1.0, seed);
+    let bc = BayesCrowd::new(ample_config(TaskStrategy::Fbs)).run(&masked, &mut platform);
+    assert_eq!(&bc.result, &truth, "BayesCrowd wrong at seed {seed}");
+}

@@ -178,10 +178,9 @@ proptest! {
                 .probability(ctable.condition(o), &dists)
                 .unwrap();
             let freq = phi_all[o.index()] as f64 / all_worlds as f64;
-            prop_assert!(
-                (p - freq).abs() < 1e-9,
-                "object {}: ADPLL {} vs world frequency {}",
-                o, p, freq
+            bc_oracle::assert_prob_close!(
+                p, freq, 1e-9,
+                "object {}: ADPLL vs world frequency", o
             );
         }
     }

@@ -63,7 +63,7 @@ proptest! {
     fn adpll_equals_naive(cond in arb_condition(), dists in arb_dists()) {
         let naive = NaiveSolver::new().probability(&cond, &dists).unwrap();
         let adpll = AdpllSolver::new().probability(&cond, &dists).unwrap();
-        prop_assert!((naive - adpll).abs() < 1e-9, "naive={naive} adpll={adpll} cond={cond}");
+        bc_oracle::assert_prob_close!(naive, adpll, 1e-9, "naive vs adpll on {}", cond);
     }
 
     #[test]
@@ -73,7 +73,7 @@ proptest! {
             .with_caching(false)
             .probability(&cond, &dists)
             .unwrap();
-        prop_assert!((cached - uncached).abs() < 1e-9);
+        bc_oracle::assert_prob_close!(cached, uncached, 1e-9, "caching changed the result");
     }
 
     #[test]
@@ -84,7 +84,7 @@ proptest! {
         let b = AdpllSolver::with_heuristic(BranchHeuristic::First)
             .probability(&cond, &dists)
             .unwrap();
-        prop_assert!((a - b).abs() < 1e-9);
+        bc_oracle::assert_prob_close!(a, b, 1e-9, "branch heuristics disagree");
     }
 
     #[test]
@@ -98,7 +98,7 @@ proptest! {
         // Pr(e) + Pr(¬e) = 1 for single expressions.
         let p = dists.expr_prob(&e).unwrap();
         let q = dists.expr_prob(&e.negated()).unwrap();
-        prop_assert!((p + q - 1.0).abs() < 1e-9, "{e}: {p} + {q}");
+        bc_oracle::assert_prob_close!(p + q, 1.0, 1e-9, "complement law for {}", e);
     }
 
     #[test]
@@ -124,7 +124,7 @@ proptest! {
         let p = s.probability(&cond, &dists).unwrap();
         let pt = s.probability(&cond.and_expr(e), &dists).unwrap();
         let pf = s.probability(&cond.and_expr(e.negated()), &dists).unwrap();
-        prop_assert!((p - pt - pf).abs() < 1e-9, "{p} vs {pt} + {pf}");
+        bc_oracle::assert_prob_close!(p, pt + pf, 1e-9, "total probability over {}", e);
     }
 
     #[test]
@@ -142,7 +142,7 @@ proptest! {
         for a in pmf.support() {
             total += pmf.p(a) * s.probability(&cond.substitute(v, a), &dists).unwrap();
         }
-        prop_assert!((p - total).abs() < 1e-9, "{p} vs {total}");
+        bc_oracle::assert_prob_close!(p, total, 1e-9, "substitution of {}", v);
     }
 
     #[test]
@@ -161,6 +161,52 @@ proptest! {
     }
 }
 
+/// The shrunk case recorded in `solver_equivalence.proptest-regressions`:
+/// `(Var(o1, a0) < 4)` compares against the domain cardinality itself, so
+/// every solver must saturate at exactly 1.0 — the `pr_lt` boundary. The
+/// vendored proptest stand-in does not replay regression files, so the
+/// case is re-run explicitly here; the same shape is committed to the
+/// oracle fuzz corpus as `reg-boundary-const.bcsnap` (see
+/// `bc_oracle::corpus`).
+#[test]
+fn regression_boundary_constant_comparison() {
+    let skew = Pmf::from_probs(vec![
+        0.5093092101391585,
+        0.00743283030467129,
+        0.3598544550106761,
+        0.12340350454549417,
+    ]);
+    let dists: VarDists = (0..N_VARS)
+        .map(|i| {
+            let pmf = if i == 1 {
+                skew.clone()
+            } else {
+                Pmf::uniform(CARD)
+            };
+            (var(i), pmf)
+        })
+        .collect();
+    let cond = Condition::from_clauses(vec![vec![Expr::lt(var(1), CARD as u16)]]);
+    for (name, p) in [
+        ("naive", NaiveSolver::new().probability(&cond, &dists)),
+        ("adpll", AdpllSolver::new().probability(&cond, &dists)),
+    ] {
+        bc_oracle::assert_prob_close!(p.unwrap(), 1.0, 0.0, "{} at the domain boundary", name);
+    }
+    // The complement (`>= card`) must be exactly impossible.
+    let none = Condition::from_clauses(vec![vec![Expr::new(
+        var(1),
+        CmpOp::Ge,
+        Operand::Const(CARD as u16),
+    )]]);
+    bc_oracle::assert_prob_close!(
+        AdpllSolver::new().probability(&none, &dists).unwrap(),
+        0.0,
+        0.0,
+        "complement at the domain boundary"
+    );
+}
+
 #[test]
 fn montecarlo_is_consistent() {
     // Not a proptest (sampling is slow); spot-check convergence on a fixed
@@ -177,9 +223,6 @@ fn montecarlo_is_consistent() {
         let est = MonteCarloSolver::new(40_000, 9)
             .probability(&cond, &dists)
             .unwrap();
-        assert!(
-            (exact - est).abs() < 0.015,
-            "k={k}: exact {exact} vs estimate {est}"
-        );
+        bc_oracle::assert_prob_close!(exact, est, 0.015, "k={}: Monte Carlo drifted", k);
     }
 }
