@@ -49,11 +49,22 @@ fn total_score(rows: &[Vec<u16>], cards: &[usize], dag: &Dag) -> f64 {
 
 /// Runs simulated annealing and returns the best structure visited.
 pub fn anneal(rows: &[Vec<u16>], cards: &[usize], config: &AnnealConfig) -> Dag {
+    anneal_with_iters(rows, cards, config).0
+}
+
+/// [`anneal`] plus the number of accepted moves — the structure-search
+/// effort counter the profiler reports.
+pub fn anneal_with_iters(
+    rows: &[Vec<u16>],
+    cards: &[usize],
+    config: &AnnealConfig,
+) -> (Dag, usize) {
     let d = cards.len();
     let rows = &rows[..rows.len().min(config.learn.max_rows_for_scoring)];
     let mut dag = Dag::empty(d);
+    let mut iters = 0;
     if rows.is_empty() || d < 2 {
-        return dag;
+        return (dag, iters);
     }
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let mut current = total_score(rows, cards, &dag);
@@ -91,6 +102,7 @@ pub fn anneal(rows: &[Vec<u16>], cards: &[usize], config: &AnnealConfig) -> Dag 
         let delta = new - old;
         if delta >= 0.0 || rng.gen_bool((delta / temperature).exp().clamp(0.0, 1.0)) {
             dag = trial;
+            iters += 1;
             current += delta;
             if current > best_score {
                 best_score = current;
@@ -99,7 +111,7 @@ pub fn anneal(rows: &[Vec<u16>], cards: &[usize], config: &AnnealConfig) -> Dag 
         }
         temperature = (temperature * config.cooling).max(1e-9);
     }
-    best
+    (best, iters)
 }
 
 #[cfg(test)]

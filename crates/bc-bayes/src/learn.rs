@@ -84,11 +84,22 @@ pub(crate) fn family_bic(
 /// edge addition, deletion, or reversal with the best BIC improvement until
 /// no move helps.
 pub fn hill_climb(rows: &[Vec<u16>], cards: &[usize], config: &LearnConfig) -> Dag {
+    hill_climb_with_iters(rows, cards, config).0
+}
+
+/// [`hill_climb`] plus the number of improving moves applied — the
+/// structure-search effort counter the profiler reports.
+pub fn hill_climb_with_iters(
+    rows: &[Vec<u16>],
+    cards: &[usize],
+    config: &LearnConfig,
+) -> (Dag, usize) {
     let d = cards.len();
     let rows = &rows[..rows.len().min(config.max_rows_for_scoring)];
     let mut dag = Dag::empty(d);
+    let mut iters = 0;
     if rows.is_empty() || d < 2 {
-        return dag;
+        return (dag, iters);
     }
 
     let mut score_cache: HashMap<(usize, Vec<usize>), f64> = HashMap::new();
@@ -153,6 +164,7 @@ pub fn hill_climb(rows: &[Vec<u16>], cards: &[usize], config: &LearnConfig) -> D
         }
 
         let Some((_, kind, p, c)) = best else { break };
+        iters += 1;
         match kind {
             0 => {
                 let added = dag.try_add_edge(p, c);
@@ -170,7 +182,7 @@ pub fn hill_climb(rows: &[Vec<u16>], cards: &[usize], config: &LearnConfig) -> D
         node_score[c] = family_score(c, dag.parents(c));
         node_score[p] = family_score(p, dag.parents(p));
     }
-    dag
+    (dag, iters)
 }
 
 /// Fits Laplace-smoothed maximum-likelihood CPTs for a fixed structure.

@@ -2,10 +2,10 @@
 //! (incomplete) dataset and derive, for every missing cell `Var(o, a)`, its
 //! conditional value distribution given the observed attributes of `o`.
 
-use crate::anneal::{anneal, AnnealConfig};
+use crate::anneal::{anneal_with_iters, AnnealConfig};
 use crate::em::{em_fit, EmConfig};
 use crate::graph::Dag;
-use crate::learn::{family_bic_score, fit_parameters, hill_climb, LearnConfig};
+use crate::learn::{family_bic_score, fit_parameters, hill_climb_with_iters, LearnConfig};
 use crate::pmf::Pmf;
 use crate::BayesianNetwork;
 use bc_data::{Dataset, VarId};
@@ -21,6 +21,9 @@ pub struct ModelStats {
     pub edges: usize,
     /// EM sweeps performed (`0` when EM was disabled).
     pub em_iters: usize,
+    /// Structure-search moves applied (hill-climb improving moves or
+    /// accepted annealing moves; `0` for the uniform-prior ablation).
+    pub search_iters: usize,
     /// Missing cells that received a conditional distribution.
     pub missing_vars: usize,
 }
@@ -93,10 +96,13 @@ impl MissingValueModel {
         } else {
             // Structure on the complete rows (greedy or annealed)...
             let complete = data.complete_rows();
-            let dag = match &config.search {
-                StructureSearch::HillClimb => hill_climb(&complete, &cards, &config.learn),
-                StructureSearch::Anneal(a) => anneal(&complete, &cards, a),
+            let (dag, search_iters) = match &config.search {
+                StructureSearch::HillClimb => {
+                    hill_climb_with_iters(&complete, &cards, &config.learn)
+                }
+                StructureSearch::Anneal(a) => anneal_with_iters(&complete, &cards, a),
             };
+            stats.search_iters = search_iters;
             if !complete.is_empty() {
                 stats.bic = (0..dag.n_nodes())
                     .map(|node| family_bic_score(&complete, &cards, node, dag.parents(node)))

@@ -129,6 +129,15 @@ pub struct CTableBuildStats {
     pub vars: usize,
     /// Expressions across open conditions.
     pub exprs: usize,
+    /// Sum of dominator-set sizes over all objects (`Σ |D(o)|`) — the
+    /// bucket sizes Algorithm 2 iterates, and the direct driver of c-table
+    /// construction cost.
+    pub candidates: u64,
+    /// Largest single dominator set encountered.
+    pub max_dominators: usize,
+    /// Bitset words combined while deriving dominator sets (zero for the
+    /// pairwise baseline, which never touches the index).
+    pub bitset_words: u64,
 }
 
 /// Algorithm 2: builds the c-table of the skyline query over `data`.
@@ -169,13 +178,22 @@ pub fn build_ctable_with_stats(
         objects: n,
         ..Default::default()
     };
+    let words_per_set = n.div_ceil(64) as u64;
     let mut conditions = Vec::with_capacity(n);
     for o in data.objects() {
         let dom = match &index {
-            Some(idx) => idx.dominator_set(data, o),
+            Some(idx) => {
+                // One full-universe init plus one AND-with-OR sweep per
+                // observed attribute, each over `⌈n/64⌉` words.
+                let observed = data.row(o).iter().filter(|c| c.is_some()).count() as u64;
+                stats.bitset_words += words_per_set * (observed + 1);
+                idx.dominator_set(data, o)
+            }
             None => baseline_dominator_set(data, o),
         };
         let dom_size = dom.count();
+        stats.candidates += dom_size as u64;
+        stats.max_dominators = stats.max_dominators.max(dom_size);
 
         let condition = if dom_size == 0 {
             // o is certainly a skyline object.

@@ -94,6 +94,9 @@ pub enum Event {
         edges: usize,
         /// EM sweeps performed (`0` when EM was disabled).
         em_iters: usize,
+        /// Structure-search moves applied (hill-climb improving moves or
+        /// accepted annealing moves).
+        search_iters: usize,
         /// Training wall-clock time.
         nanos: u128,
     },
@@ -109,6 +112,11 @@ pub enum Event {
         exprs: usize,
         /// Objects discarded outright by α-pruning.
         pruned: usize,
+        /// Sum of dominator-set sizes over all objects (`Σ |D(o)|`).
+        candidates: u64,
+        /// Bitset words combined while deriving dominator sets (zero for
+        /// the pairwise baseline).
+        bitset_words: u64,
         /// Construction wall-clock time.
         nanos: u128,
     },
@@ -136,6 +144,27 @@ pub enum Event {
         fallbacks: u64,
         /// Batch wall-clock time.
         nanos: u128,
+    },
+    /// The search-tree shape behind one probability batch: what the exact
+    /// solver actually did while the matching [`Event::ProbabilityBatch`]
+    /// was being computed. Emitted right after it.
+    SolverSearch {
+        /// Which phase requested the batch.
+        phase: RunPhase,
+        /// Value-branching decisions taken.
+        decisions: u64,
+        /// Independent components closed directly by the disjunctive rule.
+        direct_components: u64,
+        /// Component decompositions that split a condition into more than
+        /// one independent sub-problem.
+        component_splits: u64,
+        /// Component probabilities served from the solver cache.
+        cache_hits: u64,
+        /// Correlated components solved by branching (cache empty or
+        /// caching disabled).
+        cache_misses: u64,
+        /// Deepest branching recursion reached in the batch.
+        max_depth: u64,
     },
     /// Crowd answers were propagated through the constraint store.
     Propagated {
@@ -227,6 +256,7 @@ impl Event {
             Event::CTableBuilt { .. } => "CTableBuilt",
             Event::RoundStarted { .. } => "RoundStarted",
             Event::ProbabilityBatch { .. } => "ProbabilityBatch",
+            Event::SolverSearch { .. } => "SolverSearch",
             Event::Propagated { .. } => "Propagated",
             Event::RoundFinished { .. } => "RoundFinished",
             Event::SpanFinished { .. } => "SpanFinished",
@@ -252,6 +282,7 @@ impl Event {
             | Event::RunFinished { nanos, .. } => *nanos = 0,
             Event::RunStarted { .. }
             | Event::RoundStarted { .. }
+            | Event::SolverSearch { .. }
             | Event::Degraded { .. }
             | Event::Resumed { .. } => {}
         }
@@ -283,11 +314,13 @@ impl Event {
                 bic,
                 edges,
                 em_iters,
+                search_iters,
                 nanos,
             } => {
                 s.push_str(&format!(", \"bic\": {}", json_f64(*bic)));
                 field_u(&mut s, "edges", *edges as u128);
                 field_u(&mut s, "em_iters", *em_iters as u128);
+                field_u(&mut s, "search_iters", *search_iters as u128);
                 field_u(&mut s, "nanos", *nanos);
             }
             Event::CTableBuilt {
@@ -296,6 +329,8 @@ impl Event {
                 vars,
                 exprs,
                 pruned,
+                candidates,
+                bitset_words,
                 nanos,
             } => {
                 field_u(&mut s, "objects", *objects as u128);
@@ -303,6 +338,8 @@ impl Event {
                 field_u(&mut s, "vars", *vars as u128);
                 field_u(&mut s, "exprs", *exprs as u128);
                 field_u(&mut s, "pruned", *pruned as u128);
+                field_u(&mut s, "candidates", *candidates as u128);
+                field_u(&mut s, "bitset_words", *bitset_words as u128);
                 field_u(&mut s, "nanos", *nanos);
             }
             Event::RoundStarted { round } => {
@@ -324,6 +361,23 @@ impl Event {
                 field_u(&mut s, "cache_hits", *cache_hits as u128);
                 field_u(&mut s, "fallbacks", *fallbacks as u128);
                 field_u(&mut s, "nanos", *nanos);
+            }
+            Event::SolverSearch {
+                phase,
+                decisions,
+                direct_components,
+                component_splits,
+                cache_hits,
+                cache_misses,
+                max_depth,
+            } => {
+                s.push_str(&format!(", \"phase\": \"{}\"", phase.name()));
+                field_u(&mut s, "decisions", *decisions as u128);
+                field_u(&mut s, "direct_components", *direct_components as u128);
+                field_u(&mut s, "component_splits", *component_splits as u128);
+                field_u(&mut s, "cache_hits", *cache_hits as u128);
+                field_u(&mut s, "cache_misses", *cache_misses as u128);
+                field_u(&mut s, "max_depth", *max_depth as u128);
             }
             Event::Propagated {
                 answers,
@@ -421,6 +475,7 @@ impl Event {
                 bic: fields.num("bic")?,
                 edges: get_u("edges")?,
                 em_iters: get_u("em_iters")?,
+                search_iters: get_u("search_iters")?,
                 nanos: get_n("nanos")?,
             },
             "CTableBuilt" => Event::CTableBuilt {
@@ -429,6 +484,8 @@ impl Event {
                 vars: get_u("vars")?,
                 exprs: get_u("exprs")?,
                 pruned: get_u("pruned")?,
+                candidates: get_u64("candidates")?,
+                bitset_words: get_u64("bitset_words")?,
                 nanos: get_n("nanos")?,
             },
             "RoundStarted" => Event::RoundStarted {
@@ -442,6 +499,15 @@ impl Event {
                 cache_hits: get_u64("cache_hits")?,
                 fallbacks: get_u64("fallbacks")?,
                 nanos: get_n("nanos")?,
+            },
+            "SolverSearch" => Event::SolverSearch {
+                phase: RunPhase::from_name(fields.str("phase")?)?,
+                decisions: get_u64("decisions")?,
+                direct_components: get_u64("direct_components")?,
+                component_splits: get_u64("component_splits")?,
+                cache_hits: get_u64("cache_hits")?,
+                cache_misses: get_u64("cache_misses")?,
+                max_depth: get_u64("max_depth")?,
             },
             "Propagated" => Event::Propagated {
                 answers: get_u("answers")?,
@@ -577,6 +643,7 @@ mod tests {
                 bic: -12.5,
                 edges: 2,
                 em_iters: 0,
+                search_iters: 3,
                 nanos: 1234,
             },
             Event::CTableBuilt {
@@ -585,6 +652,8 @@ mod tests {
                 vars: 4,
                 exprs: 13,
                 pruned: 0,
+                candidates: 7,
+                bitset_words: 25,
                 nanos: 99,
             },
             Event::RoundStarted { round: 1 },
@@ -596,6 +665,15 @@ mod tests {
                 cache_hits: 2,
                 fallbacks: 1,
                 nanos: 777,
+            },
+            Event::SolverSearch {
+                phase: RunPhase::Select,
+                decisions: 17,
+                direct_components: 4,
+                component_splits: 1,
+                cache_hits: 2,
+                cache_misses: 5,
+                max_depth: 3,
             },
             Event::Propagated {
                 answers: 2,
@@ -702,6 +780,7 @@ mod tests {
             bic: f64::NAN,
             edges: 0,
             em_iters: 0,
+            search_iters: 0,
             nanos: 0,
         };
         let line = e.to_json_line(0);

@@ -9,6 +9,8 @@
 //!   analysis; [`Event::from_json_line`] parses it back.
 //! - [`MetricsRecorder`]: in-memory aggregation (per-phase timing,
 //!   counters, histograms) for tests and the bench harness.
+//! - [`RunProfiler`]: folds the stream into a hierarchical
+//!   [`ProfileReport`] span tree (`round/select/solve/adpll`, …).
 //! - [`Tee`]: fan one stream out to two sinks.
 //!
 //! ```
@@ -25,10 +27,12 @@
 
 mod event;
 mod metrics;
+mod profile;
 mod sink;
 
 pub use event::{Event, RunPhase};
 pub use metrics::{Counters, Histogram, MetricsRecorder};
+pub use profile::{ProfileReport, Profiler, ReportNode, RunProfiler};
 pub use sink::{JsonLinesSink, NoopObserver, Observer, Tee};
 
 use std::time::Instant;

@@ -1,23 +1,26 @@
 //! In-memory aggregation of a run's event stream.
 //!
 //! [`MetricsRecorder`] is the sink tests and the bench harness assert on:
-//! it keeps the raw event list, per-phase wall-clock totals, scalar
-//! counters, and log₂-bucketed [`Histogram`]s of per-round task counts and
-//! propagation depth.
+//! it keeps the raw event list, per-phase wall-clock totals (reconciled
+//! against the run total via [`MetricsRecorder::unattributed_nanos`]),
+//! scalar counters, and exact-count [`Histogram`]s of per-round task
+//! counts and propagation depth.
 
 use crate::event::{Event, RunPhase};
 use crate::sink::Observer;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// A power-of-two-bucketed histogram of `u64` samples.
+/// An exact-count histogram of `u64` samples with quantile extraction.
 ///
-/// Bucket `i` holds samples in `[2^(i-1), 2^i)` (bucket 0 holds zeros).
-/// Coarse on purpose: round sizes and propagation depths span orders of
-/// magnitude, and exact quantiles are not worth per-event allocation.
+/// Stores one counter per distinct value. The sample spaces we record
+/// (round sizes, propagation depths, trial timings) have few distinct
+/// values, so exact storage is cheaper than sketching and makes
+/// [`Histogram::quantile`] exact rather than bucket-approximate. A
+/// coarse log₂ view is still available via [`Histogram::buckets`].
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Histogram {
-    buckets: Vec<u64>,
+    values: BTreeMap<u64, u64>,
     count: u64,
     sum: u64,
     min: u64,
@@ -27,15 +30,7 @@ pub struct Histogram {
 impl Histogram {
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        let bucket = if value == 0 {
-            0
-        } else {
-            (64 - value.leading_zeros()) as usize
-        };
-        if self.buckets.len() <= bucket {
-            self.buckets.resize(bucket + 1, 0);
-        }
-        self.buckets[bucket] += 1;
+        *self.values.entry(value).or_insert(0) += 1;
         if self.count == 0 || value < self.min {
             self.min = value;
         }
@@ -75,9 +70,57 @@ impl Histogram {
         }
     }
 
-    /// Occupancy per log₂ bucket, lowest first.
-    pub fn buckets(&self) -> &[u64] {
-        &self.buckets
+    /// Nearest-rank quantile: the smallest recorded value `v` such that at
+    /// least `⌈q·n⌉` samples are `≤ v`. Exact, because every sample is
+    /// kept. Returns 0 when empty; `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (&value, &n) in &self.values {
+            seen += n;
+            if seen >= rank {
+                return value;
+            }
+        }
+        self.max
+    }
+
+    /// Median (nearest-rank).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile (nearest-rank).
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile (nearest-rank).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Occupancy per log₂ bucket, lowest first: bucket `i` holds samples
+    /// in `[2^(i-1), 2^i)`, bucket 0 holds zeros. Derived on demand from
+    /// the exact counts.
+    pub fn buckets(&self) -> Vec<u64> {
+        let mut buckets: Vec<u64> = Vec::new();
+        for (&value, &n) in &self.values {
+            let bucket = if value == 0 {
+                0
+            } else {
+                (64 - value.leading_zeros()) as usize
+            };
+            if buckets.len() <= bucket {
+                buckets.resize(bucket + 1, 0);
+            }
+            buckets[bucket] += n;
+        }
+        buckets
     }
 }
 
@@ -85,10 +128,13 @@ impl std::fmt::Display for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "n={} min={} mean={:.1} max={}",
+            "n={} min={} mean={:.1} p50={} p90={} p99={} max={}",
             self.count,
             self.min,
             self.mean(),
+            self.p50(),
+            self.p90(),
+            self.p99(),
             self.max
         )
     }
@@ -117,6 +163,18 @@ pub struct Counters {
     pub solver_branches: u64,
     /// Solver component-cache hits.
     pub solver_cache_hits: u64,
+    /// Correlated components solved by branching (cache empty or caching
+    /// disabled). From `SolverSearch` events.
+    pub solver_cache_misses: u64,
+    /// Independent components closed directly by the disjunctive rule.
+    /// From `SolverSearch` events.
+    pub solver_direct_components: u64,
+    /// Component decompositions that split a condition into more than one
+    /// independent sub-problem. From `SolverSearch` events.
+    pub solver_component_splits: u64,
+    /// Deepest branching recursion seen in any probability batch
+    /// (combined by max, not sum). From `SolverSearch` events.
+    pub solver_max_depth: u64,
     /// Crowd answers folded into the constraint store.
     pub answers_propagated: u64,
     /// Conditions decided by propagation.
@@ -135,6 +193,7 @@ pub struct Counters {
 pub struct MetricsRecorder {
     events: Vec<Event>,
     phase_nanos: BTreeMap<RunPhase, u128>,
+    total_nanos: u128,
     counters: Counters,
     tasks_per_round: Histogram,
     propagation_depth: Histogram,
@@ -168,14 +227,27 @@ impl MetricsRecorder {
         self.phase_nanos.get(&phase).copied().unwrap_or(0)
     }
 
-    /// Histogram of tasks posted per round.
-    pub fn tasks_per_round(&self) -> &Histogram {
-        &self.tasks_per_round
+    /// Total run wall-clock time from `RunFinished` (0 until the run
+    /// finishes).
+    pub fn total_nanos(&self) -> u128 {
+        self.total_nanos
     }
 
-    /// Histogram of propagation fixpoint depth per round.
-    pub fn propagation_depth(&self) -> &Histogram {
-        &self.propagation_depth
+    /// Wall-clock nanoseconds covered by phase spans, summed over all
+    /// phases.
+    pub fn attributed_nanos(&self) -> u128 {
+        self.phase_nanos.values().sum()
+    }
+
+    /// Run time *not* covered by any phase span: bookkeeping between
+    /// spans, round-loop control flow, report assembly. Reconciles the
+    /// per-phase totals with the `RunFinished` wall time, so
+    /// `attributed_nanos() + unattributed_nanos() == total_nanos()` holds
+    /// once the run finishes (0 before then, and if clock skew ever made
+    /// the spans overshoot the total the difference saturates to 0 rather
+    /// than underflowing).
+    pub fn unattributed_nanos(&self) -> u128 {
+        self.total_nanos.saturating_sub(self.attributed_nanos())
     }
 
     /// A compact human-readable digest (phase timings, counters,
@@ -199,6 +271,14 @@ impl MetricsRecorder {
         );
         let _ = writeln!(
             s,
+            "solver search: {} cache misses, {} direct components, {} splits, max depth {}",
+            c.solver_cache_misses,
+            c.solver_direct_components,
+            c.solver_component_splits,
+            c.solver_max_depth
+        );
+        let _ = writeln!(
+            s,
             "propagated {} answers, {} conditions decided",
             c.answers_propagated, c.conditions_decided
         );
@@ -209,7 +289,22 @@ impl MetricsRecorder {
             let nanos = self.phase_nanos(phase);
             let _ = write!(s, " {}={:.3}ms", phase, nanos as f64 / 1e6);
         }
+        let _ = write!(
+            s,
+            " unattributed={:.3}ms",
+            self.unattributed_nanos() as f64 / 1e6
+        );
         s
+    }
+
+    /// Histogram of tasks posted per round.
+    pub fn tasks_per_round(&self) -> &Histogram {
+        &self.tasks_per_round
+    }
+
+    /// Histogram of propagation fixpoint depth per round.
+    pub fn propagation_depth(&self) -> &Histogram {
+        &self.propagation_depth
     }
 }
 
@@ -232,6 +327,20 @@ impl Observer for MetricsRecorder {
                 self.counters.solver_branches += branches;
                 self.counters.solver_cache_hits += cache_hits;
                 self.counters.solver_fallbacks += fallbacks;
+            }
+            Event::SolverSearch {
+                direct_components,
+                component_splits,
+                cache_misses,
+                max_depth,
+                ..
+            } => {
+                // decisions and cache_hits mirror the matching
+                // ProbabilityBatch and are already counted there.
+                self.counters.solver_direct_components += direct_components;
+                self.counters.solver_component_splits += component_splits;
+                self.counters.solver_cache_misses += cache_misses;
+                self.counters.solver_max_depth = self.counters.solver_max_depth.max(*max_depth);
             }
             Event::Propagated {
                 answers,
@@ -258,6 +367,9 @@ impl Observer for MetricsRecorder {
                 self.counters.requeued += *requeued as u64;
                 self.counters.retried += *retried as u64;
                 self.tasks_per_round.record(*posted as u64);
+            }
+            Event::RunFinished { nanos, .. } => {
+                self.total_nanos = *nanos;
             }
             Event::Degraded { tasks_abandoned } => {
                 self.counters.tasks_abandoned += *tasks_abandoned as u64;
@@ -291,6 +403,42 @@ mod tests {
     }
 
     #[test]
+    fn histogram_quantiles_exact_on_known_distribution() {
+        // 1..=100 each once: nearest-rank quantiles are exact.
+        let mut h = Histogram::default();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p90(), 90);
+        assert_eq!(h.p99(), 99);
+        assert_eq!(h.quantile(0.0), 1);
+        assert_eq!(h.quantile(1.0), 100);
+        // Quantiles must be actual samples, insertion order must not
+        // matter, and duplicates must weight the rank.
+        let mut skewed = Histogram::default();
+        for v in [1000, 10, 10, 10, 10, 10, 10, 10, 10, 10] {
+            skewed.record(v);
+        }
+        assert_eq!(skewed.p50(), 10);
+        assert_eq!(skewed.p90(), 10);
+        assert_eq!(skewed.p99(), 1000);
+        assert_eq!(skewed.max(), 1000);
+    }
+
+    #[test]
+    fn histogram_empty_edge_case() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
     fn recorder_aggregates_counters_and_spans() {
         let mut rec = MetricsRecorder::new();
         rec.event(&Event::RoundStarted { round: 1 });
@@ -302,6 +450,15 @@ mod tests {
             cache_hits: 3,
             fallbacks: 1,
             nanos: 100,
+        });
+        rec.event(&Event::SolverSearch {
+            phase: RunPhase::Select,
+            decisions: 10,
+            direct_components: 6,
+            component_splits: 2,
+            cache_hits: 3,
+            cache_misses: 7,
+            max_depth: 4,
         });
         rec.event(&Event::Propagated {
             answers: 2,
@@ -332,13 +489,51 @@ mod tests {
         assert_eq!(c.probability_evals, 4);
         assert_eq!(c.solver_branches, 10);
         assert_eq!(c.solver_fallbacks, 1);
+        assert_eq!(c.solver_cache_misses, 7);
+        assert_eq!(c.solver_component_splits, 2);
+        assert_eq!(c.solver_direct_components, 6);
+        assert_eq!(c.solver_max_depth, 4);
         assert_eq!(c.answers_propagated, 2);
         assert_eq!(rec.phase_nanos(RunPhase::Select), 150);
         assert_eq!(rec.phase_nanos(RunPhase::Post), 0);
         assert_eq!(rec.tasks_per_round().count(), 1);
         assert_eq!(rec.propagation_depth().max(), 3);
-        assert_eq!(rec.events().len(), 6);
+        assert_eq!(rec.events().len(), 7);
         assert!(rec.summary().contains("posted 2"));
+    }
+
+    #[test]
+    fn unattributed_time_reconciles_with_run_total() {
+        let mut rec = MetricsRecorder::new();
+        rec.event(&Event::SpanFinished {
+            phase: RunPhase::Model,
+            nanos: 400,
+        });
+        rec.event(&Event::SpanFinished {
+            phase: RunPhase::Select,
+            nanos: 250,
+        });
+        // Before RunFinished there is no total to reconcile against.
+        assert_eq!(rec.total_nanos(), 0);
+        assert_eq!(rec.unattributed_nanos(), 0);
+        rec.event(&Event::RunFinished {
+            rounds: 1,
+            tasks_posted: 0,
+            tasks_answered: 0,
+            tasks_expired: 0,
+            tasks_retried: 0,
+            probability_evals: 0,
+            nanos: 1000,
+        });
+        assert_eq!(rec.attributed_nanos(), 650);
+        assert_eq!(rec.unattributed_nanos(), 350);
+        // The invariant the spans must satisfy: no run time is silently
+        // dropped between phase spans.
+        assert_eq!(
+            rec.attributed_nanos() + rec.unattributed_nanos(),
+            rec.total_nanos()
+        );
+        assert!(rec.summary().contains("unattributed=0.000ms"));
     }
 
     #[test]

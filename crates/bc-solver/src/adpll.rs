@@ -30,28 +30,47 @@ pub enum BranchHeuristic {
     First,
 }
 
-/// Counters describing one solve.
+/// Counters describing one solve — the shape of the ADPLL search tree.
+///
+/// All fields but `max_depth` are monotone event counts; `max_depth` is the
+/// deepest branching recursion reached, combined by `max` rather than `+`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SolveStats {
-    /// Number of value-branching steps taken.
+    /// Number of value-branching decisions taken.
     pub branches: u64,
-    /// Number of independent components closed directly.
+    /// Number of independent components closed directly by the general
+    /// disjunctive rule (no branching).
     pub direct_components: u64,
+    /// Number of times connected-component decomposition split a condition
+    /// into more than one independent sub-problem.
+    pub component_splits: u64,
     /// Number of component probabilities served from the cache.
     pub cache_hits: u64,
+    /// Number of correlated components that had to be solved by branching
+    /// because the cache had no entry (or caching was disabled).
+    pub cache_misses: u64,
+    /// Deepest branching recursion reached.
+    pub max_depth: u64,
 }
 
 impl SolveStats {
     /// Counter-wise difference `self - earlier`, for before/after
-    /// snapshots around a single call (saturating, in case of a reset in
-    /// between).
+    /// snapshots around a single call. Event counts subtract saturating
+    /// (a reset in between must not wrap a reused solver's counters
+    /// around); `max_depth` is not a count and carries over as the
+    /// cumulative maximum.
     pub fn since(&self, earlier: &SolveStats) -> SolveStats {
         SolveStats {
             branches: self.branches.saturating_sub(earlier.branches),
             direct_components: self
                 .direct_components
                 .saturating_sub(earlier.direct_components),
+            component_splits: self
+                .component_splits
+                .saturating_sub(earlier.component_splits),
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            max_depth: self.max_depth,
         }
     }
 }
@@ -60,7 +79,10 @@ impl std::ops::AddAssign for SolveStats {
     fn add_assign(&mut self, rhs: SolveStats) {
         self.branches += rhs.branches;
         self.direct_components += rhs.direct_components;
+        self.component_splits += rhs.component_splits;
         self.cache_hits += rhs.cache_hits;
+        self.cache_misses += rhs.cache_misses;
+        self.max_depth = self.max_depth.max(rhs.max_depth);
     }
 }
 
@@ -98,7 +120,12 @@ pub struct AdpllSolver {
     caching: bool,
     branches: Cell<u64>,
     direct: Cell<u64>,
+    splits: Cell<u64>,
     cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
+    /// Current branching recursion depth (transient within one call).
+    depth: Cell<u64>,
+    max_depth: Cell<u64>,
 }
 
 impl Default for AdpllSolver {
@@ -108,7 +135,11 @@ impl Default for AdpllSolver {
             caching: true,
             branches: Cell::new(0),
             direct: Cell::new(0),
+            splits: Cell::new(0),
             cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
+            depth: Cell::new(0),
+            max_depth: Cell::new(0),
         }
     }
 }
@@ -139,7 +170,10 @@ impl AdpllSolver {
         SolveStats {
             branches: self.branches.get(),
             direct_components: self.direct.get(),
+            component_splits: self.splits.get(),
             cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            max_depth: self.max_depth.get(),
         }
     }
 
@@ -147,7 +181,10 @@ impl AdpllSolver {
     pub fn reset_stats(&self) {
         self.branches.set(0);
         self.direct.set(0);
+        self.splits.set(0);
         self.cache_hits.set(0);
+        self.cache_misses.set(0);
+        self.max_depth.set(0);
     }
 
     fn clause_probability(&self, clause: &Clause, dists: &VarDists) -> Result<f64, SolverError> {
@@ -199,12 +236,23 @@ impl AdpllSolver {
             .pick_branch_var(cond)
             .expect("branch() is only called on undecided conditions");
         let pmf = dists.pmf(v)?.clone();
+        let d = self.depth.get() + 1;
+        self.depth.set(d);
+        self.max_depth.set(self.max_depth.get().max(d));
         let mut total = 0.0;
         for value in pmf.support() {
             self.branches.set(self.branches.get() + 1);
             let sub = cond.substitute(v, value);
-            total += pmf.p(value) * self.solve(&sub, dists, cache)?;
+            let p = self.solve(&sub, dists, cache);
+            match p {
+                Ok(p) => total += pmf.p(value) * p,
+                Err(e) => {
+                    self.depth.set(d - 1);
+                    return Err(e);
+                }
+            }
         }
+        self.depth.set(d - 1);
         Ok(total.clamp(0.0, 1.0))
     }
 
@@ -222,6 +270,9 @@ impl AdpllSolver {
 
         // Split clauses into variable-connected components.
         let components = connected_components(clauses);
+        if components.len() > 1 {
+            self.splits.set(self.splits.get() + 1);
+        }
         let mut total = 1.0;
         for comp in components {
             let p = if comp.len() == 1 {
@@ -238,11 +289,13 @@ impl AdpllSolver {
                                 self.cache_hits.set(self.cache_hits.get() + 1);
                                 hit
                             } else {
+                                self.cache_misses.set(self.cache_misses.get() + 1);
                                 let p = self.branch(&cond, dists, cache)?;
                                 cache.insert(cond, p);
                                 p
                             }
                         } else {
+                            self.cache_misses.set(self.cache_misses.get() + 1);
                             self.branch(&cond, dists, cache)?
                         }
                     }
@@ -485,6 +538,41 @@ mod tests {
         // counters keep growing.
         assert_eq!(first.branches, second.branches);
         assert_eq!(s.stats().branches, first.branches + second.branches);
+    }
+
+    #[test]
+    fn since_saturates_when_solver_is_reset_between_snapshots() {
+        let cond = Condition::from_clauses(vec![
+            vec![Expr::lt(v(0, 0), 2)],
+            vec![Expr::gt(v(0, 0), 0), Expr::lt(v(1, 0), 2)],
+        ]);
+        let d: VarDists = [(v(0, 0), Pmf::uniform(4)), (v(1, 0), Pmf::uniform(4))]
+            .into_iter()
+            .collect();
+        let s = AdpllSolver::new();
+        s.probability(&cond, &d).unwrap();
+        let before = s.stats();
+        assert!(before.branches > 0 && before.cache_misses > 0);
+        // A reset between the snapshot and the diff — exactly what happens
+        // when a solver is reused across rounds — must saturate to zero,
+        // not wrap around.
+        s.reset_stats();
+        s.probability(&Condition::True, &d).unwrap();
+        let diff = s.stats().since(&before);
+        assert_eq!(diff.branches, 0);
+        assert_eq!(diff.direct_components, 0);
+        assert_eq!(diff.component_splits, 0);
+        assert_eq!(diff.cache_hits, 0);
+        assert_eq!(diff.cache_misses, 0);
+        // max_depth is not a count: it carries over as the cumulative max.
+        assert_eq!(diff.max_depth, s.stats().max_depth);
+
+        // Normal forward diffs still report exactly the delta.
+        let mid = s.stats();
+        s.probability(&cond, &d).unwrap();
+        let fwd = s.stats().since(&mid);
+        assert_eq!(fwd.branches, before.branches);
+        assert_eq!(fwd.cache_misses, before.cache_misses);
     }
 
     #[test]

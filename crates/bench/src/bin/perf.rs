@@ -1,0 +1,86 @@
+//! Perf-suite entry point: runs the fixed benchmark matrix and writes a
+//! BENCH.json regression document.
+//!
+//! ```text
+//! cargo run --release -p bc-bench --bin perf -- --scale small --json BENCH.json
+//! ```
+
+use bc_bench::perf::{run_suite, PerfOptions, PerfScale};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: perf [--scale tiny|small] [--trials N] [--warmup N] \
+                     [--filter SUBSTRING] [--json PATH]";
+
+fn parse_args() -> Result<(PerfOptions, String), String> {
+    let mut opts = PerfOptions::default();
+    let mut json = "BENCH.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--scale" => {
+                let name = value("--scale")?;
+                opts.scale = PerfScale::by_name(&name)
+                    .ok_or(format!("unknown scale {name:?} (tiny or small)"))?;
+            }
+            "--trials" => {
+                opts.trials = value("--trials")?
+                    .parse()
+                    .map_err(|e| format!("bad --trials: {e}"))?;
+            }
+            "--warmup" => {
+                opts.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("bad --warmup: {e}"))?;
+            }
+            "--filter" => opts.filter = Some(value("--filter")?),
+            "--json" => json = value("--json")?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok((opts, json))
+}
+
+fn main() -> ExitCode {
+    let (opts, json_path) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "perf suite: scale {}, {} trial(s), {} warmup",
+        opts.scale.name, opts.trials, opts.warmup
+    );
+    let doc = match run_suite(&opts) {
+        Ok(doc) => doc,
+        Err(msg) => {
+            eprintln!("perf suite failed: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&json_path, doc.to_json()) {
+        eprintln!("cannot write {json_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {json_path}: {} benchmark(s) at scale {} (git {})",
+        doc.benchmarks.len(),
+        doc.scale,
+        doc.env.get("git_rev").map_or("unknown", String::as_str)
+    );
+    for bench in &doc.benchmarks {
+        let total = bench.metrics.get("total_nanos");
+        let decisions = bench.metrics.get("solver_decisions");
+        println!(
+            "  {:<24} total {:>9.1} ms ±{:<7.1} decisions {:>9.0}",
+            bench.name,
+            total.map_or(0.0, |s| s.median) / 1e6,
+            total.map_or(0.0, |s| s.mad) / 1e6,
+            decisions.map_or(0.0, |s| s.median),
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,69 @@
+//! Regression gate over two BENCH.json documents.
+//!
+//! ```text
+//! perfdiff BASELINE.json NEW.json
+//! ```
+//!
+//! Exit codes: 0 — no regression; 1 — at least one metric regressed
+//! beyond its noise threshold (or baseline coverage went missing);
+//! 2 — usage or parse error.
+
+use bc_bench::perf::{diff, BenchDoc};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<BenchDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    BenchDoc::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [old_path, new_path] = args.as_slice() else {
+        eprintln!("usage: perfdiff BASELINE.json NEW.json");
+        return ExitCode::from(2);
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    if old.scale != new.scale {
+        eprintln!(
+            "warning: comparing scale {:?} against {:?} — thresholds assume like-for-like runs",
+            old.scale, new.scale
+        );
+    }
+    let report = diff(&old, &new);
+    for entry in &report.improvements {
+        println!(
+            "improved  {}::{}  {:.1} -> {:.1}",
+            entry.bench, entry.metric, entry.old, entry.new
+        );
+    }
+    for name in &report.missing {
+        println!("missing   {name} (present in baseline, absent in new)");
+    }
+    for entry in &report.regressions {
+        println!(
+            "REGRESSED {}::{}  {:.1} -> {:.1} (allowed up to {:.1})",
+            entry.bench, entry.metric, entry.old, entry.new, entry.allowed
+        );
+    }
+    if report.is_ok() {
+        println!(
+            "ok: {} benchmark(s) within thresholds, {} improvement(s)",
+            old.benchmarks.len(),
+            report.improvements.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "FAIL: {} regression(s), {} missing",
+            report.regressions.len(),
+            report.missing.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -113,7 +113,8 @@ pub mod prelude {
     pub use crate::strategy::TaskStrategy;
     pub use bc_crowd::RetryPolicy;
     pub use bc_obs::{
-        Event, JsonLinesSink, MetricsRecorder, NoopObserver, Observer, RunPhase, Tee,
+        Event, JsonLinesSink, MetricsRecorder, NoopObserver, Observer, ProfileReport, RunPhase,
+        RunProfiler, Tee,
     };
     pub use bc_solver::BranchHeuristic;
 }

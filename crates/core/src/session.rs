@@ -99,6 +99,15 @@ fn probabilities(
         fallbacks,
         nanos: t.elapsed().as_nanos(),
     });
+    observer.event(&Event::SolverSearch {
+        phase,
+        decisions: stats.branches,
+        direct_components: stats.direct_components,
+        component_splits: stats.component_splits,
+        cache_hits: stats.cache_hits,
+        cache_misses: stats.cache_misses,
+        max_depth: stats.max_depth,
+    });
     Ok(out)
 }
 
@@ -266,6 +275,7 @@ impl<'a> Session<'a> {
             bic: model_stats.bic,
             edges: model_stats.edges,
             em_iters: model_stats.em_iters,
+            search_iters: model_stats.search_iters,
             nanos: model_span.elapsed_nanos(),
         });
         model_span.finish(obs);
@@ -279,6 +289,8 @@ impl<'a> Session<'a> {
             vars: build_stats.vars,
             exprs: build_stats.exprs,
             pruned: build_stats.pruned,
+            candidates: build_stats.candidates,
+            bitset_words: build_stats.bitset_words,
             nanos: ctable_span.elapsed_nanos(),
         });
         ctable_span.finish(obs);

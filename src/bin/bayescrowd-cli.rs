@@ -16,10 +16,10 @@
 //! bayescrowd-cli simulate --data movies.csv --complete movies_full.csv \
 //!     --expiry 0.2 --attrition 0.05 --max-attempts 3
 //!
-//! # Observability: write a JSON-lines event trace and print per-phase
-//! # timings plus counters after the run.
+//! # Observability: write a JSON-lines event trace, print per-phase
+//! # timings plus counters, and dump the hierarchical span profile.
 //! bayescrowd-cli simulate --data movies.csv --complete movies_full.csv \
-//!     --trace run.jsonl --metrics
+//!     --trace run.jsonl --metrics --profile profile.json
 //!
 //! # Durable runs: checkpoint after every round, then resume a killed run
 //! # from the newest checkpoint. The resumed run finishes with the same
@@ -58,6 +58,7 @@ struct Args {
     backoff: usize,
     trace: Option<String>,
     metrics: bool,
+    profile: Option<String>,
     checkpoint_dir: Option<String>,
     resume: Option<String>,
     kill_after_round: Option<usize>,
@@ -71,7 +72,8 @@ fn usage() -> ! {
          [--strategy fbs|ubs|hhs] [--m N] [--worker-accuracy F] [--seed N] \
          [--expiry F] [--attrition F] [--spammer-rate F] \
          [--max-attempts N] [--escalate-workers N] [--backoff N] \
-         [--trace FILE.jsonl] [--metrics] [--checkpoint-dir DIR] \
+         [--trace FILE.jsonl] [--metrics] [--profile FILE.json] \
+         [--checkpoint-dir DIR] \
          [--resume FILE.bcsnap] [--kill-after-round N] [--report-out FILE]"
     );
     exit(2);
@@ -97,6 +99,7 @@ fn parse_args() -> Args {
         backoff: 0,
         trace: None,
         metrics: false,
+        profile: None,
         checkpoint_dir: None,
         resume: None,
         kill_after_round: None,
@@ -137,6 +140,7 @@ fn parse_args() -> Args {
             "--backoff" => args.backoff = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--trace" => args.trace = Some(value(&mut i)),
             "--metrics" => args.metrics = true,
+            "--profile" => args.profile = Some(value(&mut i)),
             "--checkpoint-dir" => args.checkpoint_dir = Some(value(&mut i)),
             "--resume" => args.resume = Some(value(&mut i)),
             "--kill-after-round" => {
@@ -351,11 +355,19 @@ fn main() {
             let mut run = |observer: &mut dyn Observer| {
                 drive_session(&engine, &data, platform.as_mut(), observer, &args)
             };
-            let outcome = match (&mut sink, args.metrics) {
-                (Some(s), true) => run(&mut Tee::new(s, &mut metrics)),
-                (Some(s), false) => run(s),
-                (None, true) => run(&mut metrics),
-                (None, false) => run(&mut noop),
+            let mut profiler = RunProfiler::new();
+            let outcome = match (&mut sink, args.metrics, args.profile.is_some()) {
+                (Some(s), true, true) => {
+                    let mut inner = Tee::new(&mut metrics, &mut profiler);
+                    run(&mut Tee::new(s, &mut inner))
+                }
+                (Some(s), true, false) => run(&mut Tee::new(s, &mut metrics)),
+                (Some(s), false, true) => run(&mut Tee::new(s, &mut profiler)),
+                (Some(s), false, false) => run(s),
+                (None, true, true) => run(&mut Tee::new(&mut metrics, &mut profiler)),
+                (None, true, false) => run(&mut metrics),
+                (None, false, true) => run(&mut profiler),
+                (None, false, false) => run(&mut noop),
             };
             let report = match outcome {
                 Ok(report) => report,
@@ -376,6 +388,15 @@ fn main() {
             }
             if args.metrics {
                 println!("{}", metrics.summary());
+            }
+            if let Some(path) = args.profile.as_deref() {
+                let mut json = profiler.report().to_json();
+                json.push('\n');
+                std::fs::write(path, json).unwrap_or_else(|e| {
+                    eprintln!("cannot write profile file {path}: {e}");
+                    exit(1);
+                });
+                eprintln!("profile: {path}");
             }
             if let Some(path) = args.report_out.as_deref() {
                 write_report(&report, path);

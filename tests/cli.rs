@@ -109,6 +109,44 @@ fn unreadable_file_exits_with_error() {
 }
 
 #[test]
+fn profile_flag_writes_a_parseable_span_tree() {
+    let data = write_temp("p_inc.csv", INCOMPLETE);
+    let complete = write_temp("p_com.csv", COMPLETE);
+    let profile = std::env::temp_dir().join("bayescrowd-cli-tests/profile.json");
+    let _ = std::fs::remove_file(&profile);
+    let out = cli()
+        .args([
+            "simulate",
+            "--data",
+            data.to_str().unwrap(),
+            "--complete",
+            complete.to_str().unwrap(),
+            "--alpha",
+            "1.0",
+            "--budget",
+            "12",
+            "--latency",
+            "6",
+            "--profile",
+            profile.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = std::fs::read_to_string(&profile).expect("profile file written");
+    let report = bc_obs::ProfileReport::from_json(&text).expect("profile JSON parses");
+    assert_eq!(report.root().name, "run");
+    assert!(report.root().nanos > 0, "run total missing");
+    let round = report.node("round").expect("round span present");
+    assert!(round.count >= 1, "no rounds profiled");
+    assert!(
+        report.node("round/select/solve").is_some(),
+        "solve span missing: {}",
+        report.render_text()
+    );
+}
+
+#[test]
 fn killed_run_resumes_to_the_identical_report() {
     // Clean run writing checkpoints and a deterministic report; a second
     // run killed (process abort) after round 2; a third run resumed from
